@@ -1,0 +1,99 @@
+"""E8 (ablation) -- "Mobility: not working in sparse/congested traffic".
+
+Table I claims mobility-based routing is reliable and accurate *except* in
+sparse or congested traffic, because "mobility predication will not be
+accurate in this case" (Sec. IV.A).  This ablation quantifies that: for every
+vehicle pair that forms a link on the highway, we predict the link lifetime
+with the constant-velocity model (what PBR uses at discovery time) and then
+measure the actual lifetime under IDM dynamics (acceleration, braking, lane
+changes).  The prediction error is reported per traffic regime.
+
+Expected shape: the relative prediction error is smallest at normal density
+and grows in sparse traffic (large gaps, little interaction but long
+extrapolation horizons) and in congested traffic (stop-and-go dynamics break
+the constant-velocity assumption).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.core.link_lifetime import LinkLifetimePredictor
+from repro.mobility.generator import TrafficDensity, make_highway_scenario
+
+from benchmarks.common import report, run_once
+
+RANGE_M = 250.0
+DT = 0.5
+STEPS = 240  # 120 s of mobility
+#: Predictions and actual lifetimes are capped at this horizon: a link that
+#: outlives the observation window is "long enough" for any route.
+HORIZON_S = 60.0
+
+
+def _prediction_error_for(density: TrafficDensity, seed: int = 61) -> Dict[str, float]:
+    highway = make_highway_scenario(density, seed=seed, max_vehicles=90)
+    predictor = LinkLifetimePredictor(RANGE_M)
+    vehicles = highway.vehicles
+    # Snapshot predictions the instant each link forms, then watch it.
+    forming: Dict[tuple, Dict[str, float]] = {}
+    errors: List[float] = []
+    predicted_at_break: List[float] = []
+    for step in range(STEPS):
+        now = step * DT
+        highway.step(DT, now=now)
+        for i, a in enumerate(vehicles):
+            for b in vehicles[i + 1 :]:
+                key = (a.vid, b.vid)
+                connected = a.position.distance_to(b.position) <= RANGE_M
+                if connected and key not in forming:
+                    prediction = min(HORIZON_S, predictor.predict(a, b))
+                    forming[key] = {"formed_at": now, "predicted": prediction}
+                elif not connected and key in forming:
+                    record = forming.pop(key)
+                    actual = min(HORIZON_S, now - record["formed_at"])
+                    predicted = record["predicted"]
+                    errors.append(abs(predicted - actual) / max(actual, 1.0))
+                    predicted_at_break.append(predicted)
+    # Links still alive at the end of the window are right-censored; links
+    # predicted to outlive the horizon and still alive count as correct.
+    mean_error = sum(errors) / len(errors) if errors else 0.0
+    return {
+        "density": density.value,
+        "vehicles": len(vehicles),
+        "links_observed": len(errors),
+        "mean_relative_error": mean_error,
+        "median_relative_error": sorted(errors)[len(errors) // 2] if errors else 0.0,
+    }
+
+
+def _run_all_densities():
+    return [
+        _prediction_error_for(TrafficDensity.SPARSE),
+        _prediction_error_for(TrafficDensity.NORMAL),
+        _prediction_error_for(TrafficDensity.CONGESTED),
+    ]
+
+
+def test_ablation_lifetime_prediction_error(benchmark):
+    """Prediction error of the constant-velocity lifetime model per traffic regime."""
+    rows = run_once(benchmark, _run_all_densities)
+    report(
+        "ablation_prediction_error",
+        rows,
+        title="E8 -- link-lifetime prediction error vs. traffic regime",
+    )
+    by_density = {row["density"]: row for row in rows}
+    normal_error = by_density["normal"]["mean_relative_error"]
+    # The claim: prediction quality is best in normal traffic and degrades in
+    # at least one of the extreme regimes (both, typically).
+    assert by_density["congested"]["mean_relative_error"] > normal_error * 0.9
+    degraded = max(
+        by_density["sparse"]["mean_relative_error"],
+        by_density["congested"]["mean_relative_error"],
+    )
+    assert degraded > normal_error
+    # Sanity: every regime produced a meaningful number of observed links.
+    for row in rows:
+        assert row["links_observed"] > 20

@@ -1,0 +1,86 @@
+"""E10 (supporting) -- topology analysis: why density drives every Table I caveat.
+
+This supplementary experiment does not correspond to a single figure; it
+produces the topology statistics the paper's arguments implicitly rest on:
+
+* the fraction of vehicle pairs that are multi-hop connected at all (an upper
+  bound on any protocol's delivery ratio), per traffic density, and
+* the observed link-duration distribution per density, split into same- and
+  opposite-direction links.
+
+Expected shape: reachability grows steeply from sparse to congested traffic
+(sparse highways are partitioned, which is why infrastructure/store-carry
+approaches exist), node degree grows with density (which is why flooding
+storms), and same-direction links outlive opposite-direction links by a
+large factor at every density.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.connectivity import connectivity_over_time, summarize_snapshots
+from repro.analysis.link_dynamics import measure_link_durations
+from repro.mobility.generator import TrafficDensity, make_highway_scenario
+from repro.mobility.highway import HighwayConfig
+
+from benchmarks.common import report, run_once
+
+DENSITIES = [TrafficDensity.SPARSE, TrafficDensity.NORMAL, TrafficDensity.CONGESTED]
+CONFIG = HighwayConfig(length_m=2500.0, lanes_per_direction=1, bidirectional=True)
+
+
+def _analyse_density(density: TrafficDensity) -> dict:
+    mobility = make_highway_scenario(density, config=CONFIG, seed=81, max_vehicles=170)
+    snapshots = connectivity_over_time(mobility, duration=60.0, dt=5.0)
+    summary = summarize_snapshots(snapshots)
+    tracker = measure_link_durations(
+        make_highway_scenario(density, config=CONFIG, seed=81, max_vehicles=170),
+        duration=60.0,
+        dt=1.0,
+    )
+    same = tracker.durations(same_direction=True)
+    opposite = tracker.durations(same_direction=False)
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+    return {
+        "density": density.value,
+        "vehicles": len(mobility.vehicles),
+        "reachable_pair_fraction": summary["mean_reachable_pair_fraction"],
+        "largest_component_fraction": summary["mean_largest_component_fraction"],
+        "mean_degree": summary["mean_degree"],
+        "mean_link_duration_same_dir_s": mean(same),
+        "mean_link_duration_opposite_dir_s": mean(opposite),
+        "links_observed": len(tracker.observations),
+    }
+
+
+def _run_analysis():
+    return [_analyse_density(density) for density in DENSITIES]
+
+
+def test_connectivity_and_link_duration_analysis(benchmark):
+    """Reachability and link-duration statistics per traffic density."""
+    rows = run_once(benchmark, _run_analysis)
+    report(
+        "connectivity_analysis",
+        rows,
+        title="E10 -- topology statistics per traffic density (no routing protocol involved)",
+    )
+    by_density = {row["density"]: row for row in rows}
+    sparse, normal, congested = (
+        by_density["sparse"],
+        by_density["normal"],
+        by_density["congested"],
+    )
+    # Reachability (the delivery-ratio upper bound) grows with density.
+    assert sparse["reachable_pair_fraction"] < normal["reachable_pair_fraction"] <= 1.0
+    assert normal["reachable_pair_fraction"] <= congested["reachable_pair_fraction"] + 0.05
+    # Sparse highways are visibly partitioned.
+    assert sparse["largest_component_fraction"] < 0.9
+    # Node degree (the broadcast-storm driver) grows with density.
+    assert sparse["mean_degree"] < normal["mean_degree"] < congested["mean_degree"]
+    # Same-direction links outlive opposite-direction links at every density.
+    for row in rows:
+        if row["mean_link_duration_opposite_dir_s"] > 0:
+            assert (
+                row["mean_link_duration_same_dir_s"]
+                > row["mean_link_duration_opposite_dir_s"]
+            )

@@ -1,0 +1,77 @@
+"""E4 -- Fig. 4: the direction of mobility.
+
+Fig. 4 decomposes two vehicles' velocities onto the line joining them to
+decide whether they travel "in the same direction".  This benchmark sweeps
+the heading difference between two vehicles from 0 to 180 degrees and reports
+(a) the same-direction classification, (b) the velocity-group classification
+used by Taleb, and (c) the predicted link lifetime -- showing that the
+same-direction regime is exactly the long-lifetime regime.
+
+Expected shape: same-direction holds for small heading differences; the
+predicted lifetime decreases monotonically as the heading difference grows;
+opposite-direction pairs live an order of magnitude shorter than parallel
+pairs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.direction import direction_group, same_direction
+from repro.core.link_lifetime import link_lifetime_2d
+from repro.geometry import Vec2
+
+from benchmarks.common import report, run_once
+
+SPEED = 28.0  # m/s, typical highway speed
+SEPARATION = 120.0
+RANGE_M = 250.0
+
+
+def _heading_sweep():
+    rows = []
+    position_a = Vec2(0.0, 0.0)
+    position_b = Vec2(SEPARATION, 0.0)
+    velocity_a = Vec2(SPEED, 0.0)
+    for degrees in range(0, 181, 15):
+        angle = math.radians(degrees)
+        velocity_b = Vec2.from_polar(SPEED, angle)
+        lifetime = link_lifetime_2d(position_a, velocity_a, position_b, velocity_b, RANGE_M)
+        rows.append(
+            {
+                "heading_difference_deg": degrees,
+                "same_direction": same_direction(position_a, velocity_a, position_b, velocity_b),
+                "group_a": direction_group(velocity_a).value,
+                "group_b": direction_group(velocity_b).value,
+                "predicted_link_lifetime_s": lifetime if math.isfinite(lifetime) else 1e9,
+            }
+        )
+    return rows
+
+
+def test_fig4_direction_decomposition(benchmark):
+    """Same-direction classification and its link-lifetime consequence."""
+    rows = run_once(benchmark, _heading_sweep)
+    printable = [
+        {**row, "predicted_link_lifetime_s": min(row["predicted_link_lifetime_s"], 1e9)}
+        for row in rows
+    ]
+    report(
+        "fig4_direction",
+        printable,
+        title="Fig. 4 -- heading difference vs. same-direction test and link lifetime",
+    )
+
+    by_angle = {row["heading_difference_deg"]: row for row in rows}
+    # Parallel vehicles: same direction, effectively permanent link.
+    assert by_angle[0]["same_direction"]
+    assert by_angle[0]["predicted_link_lifetime_s"] >= 1e6
+    # Opposite vehicles: not same direction, short link.
+    assert not by_angle[180]["same_direction"]
+    assert by_angle[180]["predicted_link_lifetime_s"] < 15.0
+    # Same velocity-group iff the heading difference is below 45 degrees.
+    assert by_angle[30]["group_a"] == by_angle[30]["group_b"]
+    assert by_angle[90]["group_a"] != by_angle[90]["group_b"]
+    # Lifetime decreases monotonically with the heading difference.
+    lifetimes = [by_angle[d]["predicted_link_lifetime_s"] for d in range(0, 181, 15)]
+    assert all(a >= b - 1e-9 for a, b in zip(lifetimes, lifetimes[1:]))

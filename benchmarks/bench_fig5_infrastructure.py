@@ -1,0 +1,82 @@
+"""E5 -- Fig. 5: infrastructure (RSU) routing.
+
+Fig. 5 shows road-side units bridging vehicles over a wired backbone.  The
+measurable claims of Sec. V / Table I are: with RSUs deployed, delivery in
+sparse traffic is high (the backbone relays and buffers packets); without
+them ("rural area"), delivery collapses to whatever pure vehicle-to-vehicle
+forwarding achieves; and the price is the deployed hardware (RSUs per km)
+plus backbone traffic.
+
+Expected shape: delivery ratio increases monotonically with RSU density;
+the no-RSU point is the worst; backbone transmissions and RSU count grow as
+the spacing shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.mobility.generator import TrafficDensity
+
+from benchmarks.common import RUNNER, report, run_once, small_highway
+
+#: RSU spacings swept (None = no infrastructure, the rural case).
+SPACINGS = [None, 1500.0, 1000.0, 500.0, 250.0]
+
+
+def _run_rsu_sweep():
+    results = []
+    for spacing in SPACINGS:
+        scenario = small_highway(
+            TrafficDensity.SPARSE,
+            duration_s=25.0,
+            max_vehicles=60,
+            flows=5,
+            seed=31,
+            rsu_spacing_m=spacing,
+        )
+        label = "none" if spacing is None else f"{int(spacing)}m"
+        scenario = scenario.with_overrides(name=f"sparse-rsu-{label}")
+        results.append((spacing, RUNNER.run(scenario, "RSU-Relay")))
+    return results
+
+
+def test_fig5_rsu_density_sweep(benchmark):
+    """Delivery vs. RSU deployment density in sparse traffic."""
+    results = run_once(benchmark, _run_rsu_sweep)
+
+    rows = []
+    for spacing, result in results:
+        summary = result.summary
+        rows.append(
+            {
+                "rsu_spacing_m": 0 if spacing is None else spacing,
+                "rsus_deployed": result.rsu_count,
+                "delivery_ratio": summary["delivery_ratio"],
+                "mean_delay_s": summary["mean_delay_s"],
+                "backbone_tx": summary["backbone_transmissions"],
+                "rsu_buffered_packets": summary["store_carry_events"],
+                "control_tx": summary["control_transmissions"],
+            }
+        )
+    report(
+        "fig5_infrastructure",
+        rows,
+        title="Fig. 5 -- RSU relay routing in sparse traffic vs. deployment density",
+    )
+
+    by_spacing = {row["rsu_spacing_m"]: row for row in rows}
+    no_rsu = by_spacing[0]
+    densest = by_spacing[250.0]
+    dense = by_spacing[500.0]
+    mid = by_spacing[1000.0]
+    # Infrastructure rescues sparse traffic: full coverage clearly beats the
+    # rural (no-RSU) baseline, and the best-covered deployments are the best
+    # performers overall.
+    best_with_rsus = max(densest["delivery_ratio"], dense["delivery_ratio"])
+    assert best_with_rsus > no_rsu["delivery_ratio"] + 0.1
+    assert densest["delivery_ratio"] >= no_rsu["delivery_ratio"]
+    assert densest["delivery_ratio"] >= mid["delivery_ratio"] - 0.05
+    # ...but costs hardware and backbone traffic.
+    assert densest["rsus_deployed"] > mid["rsus_deployed"] > 0
+    assert no_rsu["rsus_deployed"] == 0
+    assert no_rsu["backbone_tx"] == 0
+    assert densest["backbone_tx"] > 0

@@ -1,0 +1,119 @@
+"""Shared helpers for the benchmark modules.
+
+Each benchmark regenerates one figure or table of the paper: it runs the
+relevant scenarios, prints the resulting rows (so ``pytest benchmarks/
+--benchmark-only -s`` shows the reproduction next to the timing data) and
+writes them to ``benchmarks/results/<name>.csv`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.reporting import format_table, rows_to_csv
+from repro.harness.runner import ExperimentRunner
+from repro.harness.scenario import FlowSpec, Scenario, highway_scenario, manhattan_scenario
+from repro.mobility.generator import TrafficDensity
+from repro.mobility.highway import HighwayConfig
+
+#: Where benchmark result tables are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: One shared runner; scenarios carry their own seeds so runs stay independent.
+RUNNER = ExperimentRunner()
+
+
+def small_highway(
+    density: TrafficDensity = TrafficDensity.NORMAL,
+    *,
+    duration_s: float = 20.0,
+    max_vehicles: int = 90,
+    flows: int = 4,
+    seed: int = 21,
+    **overrides,
+) -> Scenario:
+    """A benchmark-sized highway scenario (seconds of wall-clock per run)."""
+    scenario = highway_scenario(
+        density,
+        duration_s=duration_s,
+        max_vehicles=max_vehicles,
+        default_flow_count=flows,
+        seed=seed,
+        flow_template=FlowSpec(start_time_s=5.0, interval_s=1.0, packet_count=12),
+    )
+    return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def narrow_highway(
+    density: TrafficDensity = TrafficDensity.NORMAL,
+    *,
+    duration_s: float = 22.0,
+    max_vehicles: int = 170,
+    flows: int = 5,
+    seed: int = 21,
+    **overrides,
+) -> Scenario:
+    """A one-lane-per-direction highway for density sweeps.
+
+    The narrower cross-section keeps the congested regime's vehicle count
+    (and therefore the run time) manageable while preserving the sparse <
+    normal < congested population ordering that Table I's claims depend on
+    (the wider default highway would hit the population cap at both normal
+    and congested density, erasing the difference).
+    """
+    config = HighwayConfig(length_m=2500.0, lanes_per_direction=1, bidirectional=True)
+    scenario = highway_scenario(
+        density,
+        duration_s=duration_s,
+        max_vehicles=max_vehicles,
+        default_flow_count=flows,
+        seed=seed,
+        highway=config,
+        flow_template=FlowSpec(start_time_s=5.0, interval_s=1.0, packet_count=12),
+    )
+    return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def small_manhattan(
+    density: TrafficDensity = TrafficDensity.NORMAL,
+    *,
+    duration_s: float = 20.0,
+    max_vehicles: int = 80,
+    flows: int = 4,
+    seed: int = 22,
+    **overrides,
+) -> Scenario:
+    """A benchmark-sized Manhattan scenario."""
+    scenario = manhattan_scenario(
+        density,
+        duration_s=duration_s,
+        max_vehicles=max_vehicles,
+        default_flow_count=flows,
+        seed=seed,
+        flow_template=FlowSpec(start_time_s=5.0, interval_s=1.0, packet_count=12),
+    )
+    return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def report(
+    name: str,
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> None:
+    """Print a result table and persist it to ``benchmarks/results/<name>.csv``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    print()
+    print(format_table(rows, columns=columns, title=title or name))
+    rows_to_csv(RESULTS_DIR / f"{name}.csv", rows, columns=columns)
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its result.
+
+    The simulations here take seconds each; a single round keeps the whole
+    benchmark suite inside a few minutes while still recording wall-clock
+    timings with pytest-benchmark.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

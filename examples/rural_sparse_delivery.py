@@ -1,0 +1,72 @@
+"""Rural sparse traffic: where each routing category breaks down.
+
+Table I's most operational claims are about sparse traffic: mobility-based
+prediction stops working, pure vehicle-to-vehicle forwarding cannot bridge
+the gaps, infrastructure helps only where it is deployed, and store-carry-
+forward (bus ferries) trades delay for delivery.  This example runs a sparse
+rural highway four ways -- plain greedy forwarding, AODV, RSU relay with a
+modest deployment, and bus ferries -- and prints delivery, delay and cost
+side by side.
+
+Run with::
+
+    python examples/rural_sparse_delivery.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import ExperimentRunner, format_table
+from repro.harness.scenario import FlowSpec, highway_scenario
+from repro.mobility.generator import TrafficDensity
+
+CONFIGURATIONS = [
+    ("Greedy", {"rsu_spacing_m": None, "bus_count": 0}),
+    ("AODV", {"rsu_spacing_m": None, "bus_count": 0}),
+    ("RSU-Relay", {"rsu_spacing_m": 800.0, "bus_count": 0}),
+    ("Bus-Ferry", {"rsu_spacing_m": None, "bus_count": 3}),
+]
+
+
+def build_scenario(**overrides):
+    scenario = highway_scenario(
+        TrafficDensity.SPARSE,
+        name="rural-sparse",
+        duration_s=60.0,
+        max_vehicles=40,
+        default_flow_count=5,
+        seed=37,
+        flow_template=FlowSpec(start_time_s=5.0, interval_s=2.0, packet_count=25),
+    )
+    return scenario.with_overrides(**overrides)
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    rows = []
+    for protocol, overrides in CONFIGURATIONS:
+        scenario = build_scenario(**overrides)
+        print(f"Running sparse rural highway with {protocol}...")
+        result = runner.run(scenario, protocol)
+        summary = result.summary
+        rows.append(
+            {
+                "protocol": protocol,
+                "rsus": result.rsu_count,
+                "buses": overrides["bus_count"],
+                "delivery_ratio": summary["delivery_ratio"],
+                "mean_delay_s": summary["mean_delay_s"],
+                "store_carry_events": summary["store_carry_events"],
+                "backbone_tx": summary["backbone_transmissions"],
+                "no_route_drops": summary["no_route_drops"],
+            }
+        )
+    print()
+    print(format_table(rows, title="Sparse rural highway (60 s, ~40 vehicles on 2 km)"))
+    print()
+    print("Pure vehicle-to-vehicle forwarding (Greedy, AODV) loses packets whenever the")
+    print("platoons are disconnected; RSUs bridge the gaps instantly where deployed;")
+    print("bus ferries eventually deliver more but at multi-second delays.")
+
+
+if __name__ == "__main__":
+    main()

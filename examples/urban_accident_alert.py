@@ -1,0 +1,82 @@
+"""Urban accident alert: zone dissemination vs. flooding on a city grid.
+
+One of the paper's motivating safety applications is informing nearby drivers
+of an accident.  The natural mechanism is geographic: the alert only matters
+inside a zone around the incident, so zone-restricted flooding (Sec. VI,
+Bronsted et al.) reaches the relevant vehicles at a fraction of the cost of
+blind flooding.  This example builds a Manhattan downtown, places an accident
+reporter and several interested vehicles, and compares Zone, Grid-Gateway and
+Flooding dissemination; it also shows the effect of adding RSUs at
+intersections (Sec. V) for the same workload.
+
+Run with::
+
+    python examples/urban_accident_alert.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import ExperimentRunner, format_table
+from repro.harness.scenario import FlowSpec, manhattan_scenario
+from repro.mobility.generator import TrafficDensity
+
+PROTOCOLS = ["Zone", "Grid-Gateway", "Flooding", "RSU-Relay"]
+
+
+def build_scenario(rsu_spacing=None):
+    """An accident reporter streaming alerts to four interested vehicles downtown."""
+    scenario = manhattan_scenario(
+        TrafficDensity.NORMAL,
+        name="accident-alert",
+        duration_s=30.0,
+        max_vehicles=70,
+        seed=23,
+        rsu_spacing_m=rsu_spacing,
+    )
+    reporter_index = 3
+    scenario.flows = [
+        FlowSpec(
+            source_index=reporter_index,
+            destination_index=15 + 7 * i,
+            start_time_s=5.0,
+            interval_s=1.0,
+            packet_count=20,
+            size_bytes=256,
+        )
+        for i in range(4)
+    ]
+    return scenario
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    rows = []
+    for protocol in PROTOCOLS:
+        rsu_spacing = 400.0 if protocol == "RSU-Relay" else None
+        scenario = build_scenario(rsu_spacing)
+        print(f"Disseminating accident alerts with {protocol}"
+              + (" (RSUs at intersections)" if rsu_spacing else "") + "...")
+        result = runner.run(scenario, protocol)
+        summary = result.summary
+        delivered = max(1.0, summary["data_delivered"])
+        rows.append(
+            {
+                "protocol": protocol,
+                "rsus": result.rsu_count,
+                "delivery_ratio": summary["delivery_ratio"],
+                "mean_delay_s": summary["mean_delay_s"],
+                "data_tx_per_alert": summary["data_transmissions"] / delivered,
+                "beacon_tx": summary["beacon_transmissions"],
+                "backbone_tx": summary["backbone_transmissions"],
+            }
+        )
+    print()
+    print(format_table(rows, title="Accident alerts on a 4x4-block downtown grid"))
+    print()
+    print("Zone routing keeps the alert inside the corridor between reporter and")
+    print("receiver, so it needs a fraction of flooding's transmissions; RSUs add a")
+    print("wired shortcut at the cost of deployed hardware and backbone traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so the package can
+be installed in environments without the ``wheel`` package (legacy editable
+installs via ``pip install -e . --no-use-pep517`` or ``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

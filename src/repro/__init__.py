@@ -1,0 +1,26 @@
+"""repro: reproduction of "Reliable Routing in Vehicular Ad hoc Networks".
+
+The paper (Yan, Mitton, Li -- WWASN/ICDCS Workshops 2010) surveys VANET
+routing protocols and classifies them into five categories according to the
+routing metric they exploit: connectivity, mobility, infrastructure,
+geographic location and probability models.
+
+This package provides:
+
+* ``repro.sim`` -- a discrete-event packet-level network simulator.
+* ``repro.radio`` -- wireless propagation, reception and MAC models.
+* ``repro.mobility`` -- vehicular mobility models (IDM highway, Manhattan
+  grid, random waypoint, trace replay).
+* ``repro.roadnet`` -- road networks, zones and road-side-unit placement.
+* ``repro.core`` -- the paper's analytical content: the link-lifetime model
+  (Eqns. 1-4), direction decomposition, probabilistic link-stability models,
+  path reliability and the protocol taxonomy.
+* ``repro.protocols`` -- representative routing protocols for each of the
+  five categories of the taxonomy.
+* ``repro.harness`` -- scenario construction, experiment running, parameter
+  sweeps and reporting used by the benchmarks.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,38 @@
+"""Offline analysis of VANET topology dynamics.
+
+The survey's qualitative claims about traffic regimes ("mobility prediction
+is not accurate in sparse/congested traffic", "flooding scales badly beyond a
+few hundred nodes", "infrastructure is needed when the traffic is sparse")
+are ultimately statements about the *connectivity graph* the vehicles form
+and how it evolves.  This package computes those statistics directly from a
+mobility model, independently of any routing protocol:
+
+* :mod:`~repro.analysis.connectivity` -- snapshot connectivity graphs,
+  partition counts, largest-component fractions and node degrees.
+* :mod:`~repro.analysis.link_dynamics` -- link formation/breakage tracking,
+  link-duration distributions and lifetime-prediction error measurement.
+"""
+
+from repro.analysis.connectivity import (
+    ConnectivitySnapshot,
+    connectivity_graph,
+    connectivity_over_time,
+    snapshot_connectivity,
+)
+from repro.analysis.link_dynamics import (
+    LinkDurationTracker,
+    LinkObservation,
+    measure_link_durations,
+    prediction_error_statistics,
+)
+
+__all__ = [
+    "ConnectivitySnapshot",
+    "connectivity_graph",
+    "connectivity_over_time",
+    "snapshot_connectivity",
+    "LinkDurationTracker",
+    "LinkObservation",
+    "measure_link_durations",
+    "prediction_error_statistics",
+]

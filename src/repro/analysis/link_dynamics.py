@@ -1,0 +1,143 @@
+"""Link formation/breakage tracking and lifetime-prediction accuracy.
+
+The mobility and probability categories stand or fall with how predictable
+individual link durations are.  :class:`LinkDurationTracker` watches a
+mobility model, records when each vehicle pair's link forms and breaks, and
+(optionally) snapshots the constant-velocity lifetime prediction at formation
+time so the prediction error can be evaluated against what actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.link_lifetime import LinkLifetimePredictor
+from repro.mobility.vehicle import VehicleState
+
+
+@dataclass
+class LinkObservation:
+    """One completed link: when it existed and what was predicted for it."""
+
+    vehicle_a: int
+    vehicle_b: int
+    formed_at: float
+    broke_at: float
+    predicted_lifetime: float
+    same_direction: bool
+
+    @property
+    def actual_lifetime(self) -> float:
+        """Observed duration of the link in seconds."""
+        return self.broke_at - self.formed_at
+
+    def relative_error(self, horizon: float = 60.0) -> float:
+        """Relative prediction error with both values capped at ``horizon``."""
+        actual = min(self.actual_lifetime, horizon)
+        predicted = min(self.predicted_lifetime, horizon)
+        return abs(predicted - actual) / max(actual, 1.0)
+
+
+class LinkDurationTracker:
+    """Track link up/down transitions of a vehicle population over time."""
+
+    def __init__(
+        self,
+        communication_range: float = 250.0,
+        predictor: Optional[LinkLifetimePredictor] = None,
+    ) -> None:
+        self.communication_range = communication_range
+        self.predictor = (
+            predictor if predictor is not None else LinkLifetimePredictor(communication_range)
+        )
+        self._active: Dict[Tuple[int, int], Dict[str, float]] = {}
+        self.observations: List[LinkObservation] = []
+
+    def observe(self, vehicles: Sequence[VehicleState], now: float) -> None:
+        """Record link formations and breakages for the current positions."""
+        import math
+
+        for i, a in enumerate(vehicles):
+            for b in vehicles[i + 1 :]:
+                key = (a.vid, b.vid)
+                connected = (
+                    a.position.distance_to(b.position) <= self.communication_range
+                )
+                if connected and key not in self._active:
+                    self._active[key] = {
+                        "formed_at": now,
+                        "predicted": self.predictor.predict(a, b),
+                        "same_direction": float(
+                            math.cos(a.heading - b.heading) > 0.0
+                        ),
+                    }
+                elif not connected and key in self._active:
+                    record = self._active.pop(key)
+                    self.observations.append(
+                        LinkObservation(
+                            vehicle_a=key[0],
+                            vehicle_b=key[1],
+                            formed_at=record["formed_at"],
+                            broke_at=now,
+                            predicted_lifetime=record["predicted"],
+                            same_direction=bool(record["same_direction"]),
+                        )
+                    )
+
+    @property
+    def active_links(self) -> int:
+        """Number of links currently up."""
+        return len(self._active)
+
+    def durations(self, same_direction: Optional[bool] = None) -> List[float]:
+        """Observed link durations, optionally filtered by direction agreement."""
+        return [
+            obs.actual_lifetime
+            for obs in self.observations
+            if same_direction is None or obs.same_direction == same_direction
+        ]
+
+
+def measure_link_durations(
+    mobility,
+    duration: float,
+    dt: float = 0.5,
+    communication_range: float = 250.0,
+) -> LinkDurationTracker:
+    """Run ``mobility`` for ``duration`` seconds and return the populated tracker."""
+    if dt <= 0:
+        raise ValueError("sampling interval must be positive")
+    tracker = LinkDurationTracker(communication_range)
+    steps = int(round(duration / dt))
+    now = 0.0
+    for _ in range(steps + 1):
+        tracker.observe(mobility.vehicles, now)
+        mobility.step(dt, now + dt)
+        now += dt
+    return tracker
+
+
+def prediction_error_statistics(
+    observations: Sequence[LinkObservation], horizon: float = 60.0
+) -> Dict[str, float]:
+    """Aggregate relative prediction-error statistics over completed links."""
+    if not observations:
+        return {
+            "links": 0.0,
+            "mean_relative_error": 0.0,
+            "median_relative_error": 0.0,
+            "mean_actual_lifetime_s": 0.0,
+            "mean_predicted_lifetime_s": 0.0,
+        }
+    errors = sorted(obs.relative_error(horizon) for obs in observations)
+    actuals = [min(obs.actual_lifetime, horizon) for obs in observations]
+    predictions = [min(obs.predicted_lifetime, horizon) for obs in observations]
+    count = len(observations)
+    return {
+        "links": float(count),
+        "mean_relative_error": sum(errors) / count,
+        "median_relative_error": errors[count // 2],
+        "mean_actual_lifetime_s": sum(actuals) / count,
+        "mean_predicted_lifetime_s": sum(predictions) / count,
+    }

@@ -1,0 +1,163 @@
+"""Command-line interface: run scenarios and sweeps without writing Python.
+
+Installed as the ``repro-vanet`` console script (see ``pyproject.toml``), but
+also runnable as ``python -m repro.cli``.  Three subcommands:
+
+``run``
+    Run one protocol through one scenario and print the metric summary.
+``compare``
+    Run several protocols through the same scenario and print a comparison
+    table (optionally written to CSV).
+``protocols``
+    List the implemented protocols and their taxonomy categories.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.taxonomy import global_registry
+from repro.harness.reporting import format_table, rows_to_csv
+from repro.harness.runner import ExperimentRunner
+from repro.harness.scenario import FlowSpec, Scenario, highway_scenario, manhattan_scenario
+from repro.harness.sweep import sweep_protocols
+from repro.mobility.generator import TrafficDensity
+from repro.protocols.registry import available_protocols
+
+#: Columns shown by the ``run`` and ``compare`` subcommands.
+SUMMARY_COLUMNS = [
+    "protocol",
+    "delivery_ratio",
+    "mean_delay_s",
+    "mean_hops",
+    "control_transmissions",
+    "beacon_transmissions",
+    "discovery_transmissions",
+    "data_transmissions",
+    "mac_collisions",
+    "backbone_transmissions",
+]
+
+
+def _build_scenario(args: argparse.Namespace) -> Scenario:
+    density = TrafficDensity(args.density)
+    make = highway_scenario if args.kind == "highway" else manhattan_scenario
+    scenario = make(
+        density,
+        duration_s=args.duration,
+        max_vehicles=args.max_vehicles,
+        default_flow_count=args.flows,
+        seed=args.seed,
+        rsu_spacing_m=args.rsu_spacing,
+        bus_count=args.buses,
+        flow_template=FlowSpec(
+            start_time_s=args.warmup,
+            interval_s=args.packet_interval,
+            packet_count=args.packets_per_flow,
+        ),
+    )
+    return scenario
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kind", choices=["highway", "manhattan"], default="highway",
+        help="mobility scenario (default: highway)",
+    )
+    parser.add_argument(
+        "--density", choices=[d.value for d in TrafficDensity], default="normal",
+        help="traffic density regime (default: normal)",
+    )
+    parser.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
+    parser.add_argument("--max-vehicles", type=int, default=100, help="vehicle population cap")
+    parser.add_argument("--flows", type=int, default=5, help="number of random unicast flows")
+    parser.add_argument("--packets-per-flow", type=int, default=20, help="packets per flow")
+    parser.add_argument("--packet-interval", type=float, default=1.0, help="seconds between packets")
+    parser.add_argument("--warmup", type=float, default=5.0, help="flow start time (seconds)")
+    parser.add_argument("--seed", type=int, default=1, help="master random seed")
+    parser.add_argument(
+        "--rsu-spacing", type=float, default=None,
+        help="distance between road-side units in metres (default: no RSUs)",
+    )
+    parser.add_argument("--buses", type=int, default=0, help="vehicles designated as buses")
+    parser.add_argument("--csv", type=str, default=None, help="write the result rows to this CSV file")
+
+
+def _result_row(result) -> dict:
+    row = {"protocol": result.protocol}
+    row.update({key: result.summary.get(key, 0.0) for key in SUMMARY_COLUMNS if key != "protocol"})
+    row["path_stretch"] = result.extra.get("path_stretch", 0.0)
+    return row
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.protocol not in available_protocols():
+        print(f"unknown protocol {args.protocol!r}", file=sys.stderr)
+        print(f"available: {', '.join(available_protocols())}", file=sys.stderr)
+        return 2
+    scenario = _build_scenario(args)
+    runner = ExperimentRunner()
+    result = runner.run(scenario, args.protocol)
+    rows = [_result_row(result)]
+    print(format_table(rows, title=f"{args.protocol} on {scenario.name}"))
+    if args.csv:
+        rows_to_csv(args.csv, rows)
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    unknown = [p for p in args.protocols if p not in available_protocols()]
+    if unknown:
+        print(f"unknown protocol(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    scenario = _build_scenario(args)
+    results = sweep_protocols(scenario, args.protocols, runner=ExperimentRunner())
+    rows = [_result_row(result) for result in results]
+    print(format_table(rows, title=f"Comparison on {scenario.name}"))
+    if args.csv:
+        rows_to_csv(args.csv, rows)
+    return 0
+
+
+def _command_protocols(_: argparse.Namespace) -> int:
+    rows = global_registry.as_table()
+    print(format_table(rows, columns=["category", "protocol", "reference", "description"]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-vanet",
+        description="VANET reliable-routing reproduction: run simulations from the command line.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one protocol through one scenario")
+    run_parser.add_argument("protocol", help="protocol name (see the 'protocols' subcommand)")
+    _add_scenario_arguments(run_parser)
+    run_parser.set_defaults(func=_command_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run several protocols through the same scenario"
+    )
+    compare_parser.add_argument("protocols", nargs="+", help="protocol names")
+    _add_scenario_arguments(compare_parser)
+    compare_parser.set_defaults(func=_command_compare)
+
+    protocols_parser = subparsers.add_parser("protocols", help="list implemented protocols")
+    protocols_parser.set_defaults(func=_command_protocols)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

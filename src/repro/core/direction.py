@@ -1,0 +1,127 @@
+"""Direction-of-mobility analysis (paper Sec. IV.A.2, Fig. 4).
+
+The paper decomposes the velocities of two vehicles *a* and *b* onto the
+"horizontal" line joining them and its perpendicular.  The vehicles travel in
+the same direction when both the horizontal projections and the vertical
+projections have the same sign (``v_ah * v_bh > 0`` and ``v_av * v_bv > 0``).
+Links between same-direction vehicles live much longer, which is why Taleb
+and Abedi (Sec. IV.B) prefer them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from repro.geometry import Vec2, angle_between
+
+
+@dataclass(frozen=True)
+class VelocityProjections:
+    """Velocity components of two vehicles along and across their joining line."""
+
+    a_horizontal: float
+    a_vertical: float
+    b_horizontal: float
+    b_vertical: float
+
+
+def velocity_projections(
+    position_a: Vec2, velocity_a: Vec2, position_b: Vec2, velocity_b: Vec2
+) -> VelocityProjections:
+    """Decompose both velocities as in Fig. 4.
+
+    The "horizontal" axis is the unit vector from *a* to *b*; the "vertical"
+    axis is its 90-degree counter-clockwise rotation.  When the two vehicles
+    are co-located the horizontal axis is taken along *a*'s velocity.
+    """
+    axis = (position_b - position_a).normalized()
+    if axis.norm_sq() == 0.0:
+        axis = velocity_a.normalized()
+        if axis.norm_sq() == 0.0:
+            axis = Vec2(1.0, 0.0)
+    vertical_axis = axis.rotated(math.pi / 2.0)
+    return VelocityProjections(
+        a_horizontal=velocity_a.dot(axis),
+        a_vertical=velocity_a.dot(vertical_axis),
+        b_horizontal=velocity_b.dot(axis),
+        b_vertical=velocity_b.dot(vertical_axis),
+    )
+
+
+def same_direction(
+    position_a: Vec2,
+    velocity_a: Vec2,
+    position_b: Vec2,
+    velocity_b: Vec2,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Paper's same-direction test: both projection pairs share a sign.
+
+    A projection whose magnitude is below ``tolerance`` is treated as
+    agreeing with anything (a vehicle moving exactly perpendicular to the
+    joining line has no horizontal preference).
+    """
+    proj = velocity_projections(position_a, velocity_a, position_b, velocity_b)
+
+    def agree(x: float, y: float) -> bool:
+        if abs(x) <= tolerance or abs(y) <= tolerance:
+            return True
+        return x * y > 0
+
+    return agree(proj.a_horizontal, proj.b_horizontal) and agree(
+        proj.a_vertical, proj.b_vertical
+    )
+
+
+def heading_alignment(heading_a: float, heading_b: float) -> float:
+    """Cosine of the angle between two headings (1 = parallel, -1 = opposite)."""
+    return math.cos(heading_a - heading_b)
+
+
+def heading_same_direction(
+    heading_a: float, heading_b: float, tolerance_rad: float = math.pi / 2.0
+) -> bool:
+    """True when two headings differ by less than ``tolerance_rad``."""
+    difference = abs((heading_a - heading_b + math.pi) % (2.0 * math.pi) - math.pi)
+    return difference < tolerance_rad
+
+
+class DirectionGroup(Enum):
+    """Quadrant-based velocity groups (Taleb et al. group vehicles by velocity vector)."""
+
+    EAST = "east"
+    NORTH = "north"
+    WEST = "west"
+    SOUTH = "south"
+
+
+def direction_group(velocity: Vec2) -> DirectionGroup:
+    """Classify a velocity vector into one of four quadrant groups.
+
+    Stationary vehicles are grouped as EAST by convention (they are
+    compatible with any group for routing purposes; callers that care can
+    special-case zero speed).
+    """
+    if velocity.norm_sq() == 0.0:
+        return DirectionGroup.EAST
+    angle = velocity.angle()  # (-pi, pi]
+    if -math.pi / 4.0 <= angle < math.pi / 4.0:
+        return DirectionGroup.EAST
+    if math.pi / 4.0 <= angle < 3.0 * math.pi / 4.0:
+        return DirectionGroup.NORTH
+    if -3.0 * math.pi / 4.0 <= angle < -math.pi / 4.0:
+        return DirectionGroup.SOUTH
+    return DirectionGroup.WEST
+
+
+def direction_similarity(velocity_a: Vec2, velocity_b: Vec2) -> float:
+    """Continuous direction-match score in [0, 1] (1 = identical directions).
+
+    Used by Abedi-style next-hop ranking, where direction is the most
+    important selection parameter.
+    """
+    angle = angle_between(velocity_a, velocity_b)
+    return 1.0 - angle / math.pi

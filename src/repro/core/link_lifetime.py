@@ -1,0 +1,245 @@
+"""The communication-link lifetime model (paper Sec. IV.A.1, Eqns. 1-4, Fig. 3).
+
+The paper models two vehicles *i* (sender) and *j* (receiver) moving along a
+road.  With travelled distances ``S_i(t)`` and ``S_j(t)`` (Eqn. 1) and an
+initial separation ``d_0``, the separation at time *t* is
+
+    d_t = S_i(t) - S_j(t) + d_0                                   (Eqn. 2)
+
+The indicator ``I(i, j)`` records which vehicle is ahead when the link breaks
+(Eqn. 3), and the link breaks when the separation reaches the communication
+range ``r``:
+
+    d_t = r * I(i, j)                                             (Eqn. 4)
+
+For piecewise-constant accelerations the separation is a quadratic in *t*, so
+Eqn. 4 can be solved in closed form; that closed form is what this module
+provides, together with a 2-D generalisation used on non-straight roads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.geometry import Vec2
+from repro.mobility.vehicle import VehicleState
+
+#: Value returned when the link never breaks under the assumed kinematics.
+NEVER = math.inf
+
+
+def relative_motion_1d(
+    speed_i: float,
+    speed_j: float,
+    accel_i: float = 0.0,
+    accel_j: float = 0.0,
+) -> Tuple[float, float]:
+    """Relative speed and acceleration of vehicle *i* with respect to *j*."""
+    return speed_i - speed_j, accel_i - accel_j
+
+
+def link_breakage_indicator(separation_at_break: float) -> int:
+    """Eqn. 3: +1 when vehicle *i* is ahead at breakage, -1 otherwise."""
+    return 1 if separation_at_break > 0 else -1
+
+
+def _smallest_positive_root(a: float, b: float, c: float) -> Optional[float]:
+    """Smallest strictly positive root of ``a t^2 + b t + c = 0`` (or None)."""
+    eps = 1e-12
+    roots = []
+    if abs(a) < eps:
+        if abs(b) < eps:
+            return None
+        roots.append(-c / b)
+    else:
+        discriminant = b * b - 4.0 * a * c
+        if discriminant < 0:
+            return None
+        sqrt_d = math.sqrt(discriminant)
+        roots.extend([(-b - sqrt_d) / (2.0 * a), (-b + sqrt_d) / (2.0 * a)])
+    positive = [t for t in roots if t > eps]
+    if not positive:
+        return None
+    return min(positive)
+
+
+def link_lifetime_1d(
+    initial_separation: float,
+    relative_speed: float,
+    relative_acceleration: float = 0.0,
+    communication_range: float = 250.0,
+    speed_limit_duration: Optional[float] = None,
+) -> float:
+    """Solve Eqn. 4 for 1-D (along-road) motion.
+
+    Args:
+        initial_separation: ``d_0``, the signed separation ``x_i - x_j`` at
+            time 0 (positive when *i* is ahead of *j*).
+        relative_speed: ``v_i - v_j`` at time 0.
+        relative_acceleration: ``a_i - a_j`` (assumed constant).
+        communication_range: The range ``r`` at which the link breaks.
+        speed_limit_duration: Optional horizon after which accelerations are
+            assumed to have saturated (vehicles reach the speed limit ``v_m``
+            in the paper's scenario II of Fig. 3).  Beyond the horizon the
+            motion continues at the speed reached at the horizon.
+
+    Returns:
+        The lifetime of the link in seconds; ``math.inf`` when the separation
+        never reaches ``r`` under the assumed kinematics; ``0.0`` when the
+        vehicles are already out of range.
+    """
+    r = communication_range
+    d0 = initial_separation
+    if abs(d0) > r:
+        return 0.0
+    dv = relative_speed
+    da = relative_acceleration
+
+    def lifetime_quadratic(d0_: float, dv_: float, da_: float) -> Optional[float]:
+        candidates = []
+        for boundary in (r, -r):
+            root = _smallest_positive_root(0.5 * da_, dv_, d0_ - boundary)
+            if root is not None:
+                candidates.append(root)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    if speed_limit_duration is None or da == 0.0:
+        result = lifetime_quadratic(d0, dv, da)
+        return result if result is not None else NEVER
+
+    # Phase 1: constant relative acceleration until the saturation horizon.
+    horizon = max(0.0, speed_limit_duration)
+    first = lifetime_quadratic(d0, dv, da)
+    if first is not None and first <= horizon:
+        return first
+    # Phase 2: constant relative speed from the horizon onwards.
+    d_at_horizon = d0 + dv * horizon + 0.5 * da * horizon * horizon
+    v_at_horizon = dv + da * horizon
+    if abs(d_at_horizon) > r:
+        return horizon
+    second = lifetime_quadratic(d_at_horizon, v_at_horizon, 0.0)
+    if second is None:
+        return NEVER
+    return horizon + second
+
+
+def link_lifetime_2d(
+    position_i: Vec2,
+    velocity_i: Vec2,
+    position_j: Vec2,
+    velocity_j: Vec2,
+    communication_range: float = 250.0,
+) -> float:
+    """Lifetime of a link between two vehicles moving in the plane.
+
+    Assumes constant velocities: the squared separation is a quadratic in
+    time, so the first time ``|p_rel + v_rel t| = r`` has a closed form.
+    Returns ``math.inf`` when the vehicles never separate beyond ``r`` and
+    ``0.0`` when they are already out of range.
+    """
+    r = communication_range
+    p = position_i - position_j
+    v = velocity_i - velocity_j
+    if p.norm() > r:
+        return 0.0
+    a = v.norm_sq()
+    if a == 0.0:
+        return NEVER
+    b = 2.0 * p.dot(v)
+    c = p.norm_sq() - r * r
+    root = _smallest_positive_root(a, b, c)
+    return root if root is not None else NEVER
+
+
+def time_to_closest_approach(
+    position_i: Vec2, velocity_i: Vec2, position_j: Vec2, velocity_j: Vec2
+) -> float:
+    """Time at which two constant-velocity vehicles are closest (>= 0)."""
+    p = position_i - position_j
+    v = velocity_i - velocity_j
+    speed_sq = v.norm_sq()
+    if speed_sq == 0.0:
+        return 0.0
+    return max(0.0, -p.dot(v) / speed_sq)
+
+
+@dataclass
+class LinkLifetimePrediction:
+    """A lifetime prediction together with the inputs that produced it."""
+
+    lifetime: float
+    separation: float
+    relative_speed: float
+    indicator: int
+
+
+class LinkLifetimePredictor:
+    """Predict link lifetimes from :class:`VehicleState` pairs.
+
+    This is the primitive the mobility-based protocols (PBR, Taleb, Abedi)
+    and the probability-based protocols (Yan, GVGrid) build on.  The
+    prediction uses the 2-D constant-velocity model, which degenerates to the
+    paper's 1-D model when both vehicles travel along the same road.
+    """
+
+    def __init__(self, communication_range: float = 250.0) -> None:
+        if communication_range <= 0:
+            raise ValueError("communication range must be positive")
+        self.communication_range = communication_range
+
+    def predict(self, vehicle_i: VehicleState, vehicle_j: VehicleState) -> float:
+        """Predicted lifetime (seconds) of the link between two vehicles."""
+        return link_lifetime_2d(
+            vehicle_i.position,
+            vehicle_i.velocity,
+            vehicle_j.position,
+            vehicle_j.velocity,
+            self.communication_range,
+        )
+
+    def predict_detailed(
+        self, vehicle_i: VehicleState, vehicle_j: VehicleState
+    ) -> LinkLifetimePrediction:
+        """Prediction plus the relative-motion quantities of Eqns. 2-3."""
+        lifetime = self.predict(vehicle_i, vehicle_j)
+        separation_vec = vehicle_i.position - vehicle_j.position
+        relative_velocity = vehicle_i.velocity - vehicle_j.velocity
+        # Signed separation along vehicle i's heading (the paper's road axis).
+        axis = Vec2.from_polar(1.0, vehicle_i.heading)
+        separation = separation_vec.dot(axis)
+        if math.isfinite(lifetime):
+            sep_at_break = separation + relative_velocity.dot(axis) * lifetime
+        else:
+            sep_at_break = separation
+        return LinkLifetimePrediction(
+            lifetime=lifetime,
+            separation=separation,
+            relative_speed=relative_velocity.norm(),
+            indicator=link_breakage_indicator(sep_at_break),
+        )
+
+    def predict_from_snapshot(
+        self,
+        position_i: Vec2,
+        velocity_i: Vec2,
+        position_j: Vec2,
+        velocity_j: Vec2,
+    ) -> float:
+        """Lifetime prediction from raw kinematic snapshots (beacon contents)."""
+        return link_lifetime_2d(
+            position_i, velocity_i, position_j, velocity_j, self.communication_range
+        )
+
+    def path_lifetime(self, link_lifetimes: Sequence[float]) -> float:
+        """Lifetime of a routing path: the minimum of its link lifetimes.
+
+        "The lifetime of the routing path is the minimum lifetime of the all
+        links involved in the routing path" (Sec. IV.A.1).
+        """
+        if not link_lifetimes:
+            return 0.0
+        return min(link_lifetimes)

@@ -1,0 +1,117 @@
+"""Routing metrics and the paper's qualitative Table I.
+
+:class:`LinkMetrics` bundles the per-link quantities the five categories
+compute (lifetime, stability, distance progress, direction match, receipt
+probability); :data:`PAPER_TABLE_I` records the paper's own qualitative
+claims so the Table I benchmark can print the measured values next to the
+claims they support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.taxonomy import Category
+
+
+@dataclass
+class LinkMetrics:
+    """Per-link routing metrics a protocol may compute for a neighbour.
+
+    Attributes:
+        lifetime_s: Predicted remaining lifetime of the link (mobility category).
+        stability: Expected link duration / availability probability in [0, 1]
+            or seconds depending on the consumer (probability category).
+        progress_m: Geographic progress toward the destination offered by the
+            neighbour (geographic category).
+        direction_match: Direction similarity in [0, 1] (mobility category).
+        receipt_probability: Estimated frame receipt probability (REAR).
+        distance_m: Current distance to the neighbour.
+    """
+
+    lifetime_s: float = float("inf")
+    stability: float = 1.0
+    progress_m: float = 0.0
+    direction_match: float = 1.0
+    receipt_probability: float = 1.0
+    distance_m: float = 0.0
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """The paper's qualitative pros/cons for one category (Table I)."""
+
+    category: Category
+    pros: List[str]
+    cons: List[str]
+    #: The measurable expectations our benchmarks check, phrased as the
+    #: metric relationships that should hold in the simulation results.
+    expected_shape: List[str] = field(default_factory=list)
+
+
+#: Table I of the paper, transcribed, plus the measurable shape each row implies.
+PAPER_TABLE_I: Dict[Category, CategoryProfile] = {
+    Category.CONNECTIVITY: CategoryProfile(
+        category=Category.CONNECTIVITY,
+        pros=["simple"],
+        cons=["overhead", "broadcasting storm"],
+        expected_shape=[
+            "highest control overhead of all categories",
+            "per-packet transmissions grow super-linearly with vehicle density (flooding)",
+            "delivery remains possible at every density (availability)",
+        ],
+    ),
+    Category.MOBILITY: CategoryProfile(
+        category=Category.MOBILITY,
+        pros=["reliable", "accurate"],
+        cons=["overhead", "not working in sparse/congested traffic"],
+        expected_shape=[
+            "longest route lifetimes at normal density",
+            "beacon overhead higher than geographic-only beaconing",
+            "lifetime-prediction error grows in sparse and congested traffic",
+        ],
+    ),
+    Category.INFRASTRUCTURE: CategoryProfile(
+        category=Category.INFRASTRUCTURE,
+        pros=["reliable", "accurate"],
+        cons=["expensive", "not working in rural area"],
+        expected_shape=[
+            "best delivery ratio in sparse traffic when RSUs are deployed",
+            "delivery collapses toward the no-RSU baseline when coverage is removed",
+            "deployment cost (number of RSUs) grows linearly with covered length",
+        ],
+    ),
+    Category.GEOGRAPHIC: CategoryProfile(
+        category=Category.GEOGRAPHIC,
+        pros=["simple", "direct"],
+        cons=["overhead", "not optimal"],
+        expected_shape=[
+            "far fewer duplicate data transmissions than flooding",
+            "persistent beacon overhead even when idle",
+            "non-zero path stretch versus the shortest available path",
+        ],
+    ),
+    Category.PROBABILITY: CategoryProfile(
+        category=Category.PROBABILITY,
+        pros=["efficient"],
+        cons=["not optimal", "only working for a certain traffic"],
+        expected_shape=[
+            "fewer probe/control transmissions than flooding discovery",
+            "delivery degrades when the calibrated traffic model mismatches reality",
+            "selected paths are not always the minimum-hop paths",
+        ],
+    ),
+}
+
+
+def table_one_rows() -> List[Dict[str, str]]:
+    """Table I as printable rows (category, pros, cons)."""
+    return [
+        {
+            "category": profile.category.value,
+            "pros": ", ".join(profile.pros),
+            "cons": ", ".join(profile.cons),
+        }
+        for profile in PAPER_TABLE_I.values()
+    ]

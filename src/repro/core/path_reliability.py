@@ -1,0 +1,173 @@
+"""Composition of link metrics into path metrics.
+
+Two composition rules recur throughout the survey:
+
+* The lifetime of a path is the *minimum* lifetime of its links
+  (Sec. IV.A.1) -- selecting the best path is therefore a widest
+  (maximum-bottleneck) path problem.
+* The reliability of a path is the *product* of its links' availability
+  probabilities (Sec. VII) -- selecting the best path is a shortest-path
+  problem on ``-log`` probabilities.
+
+Both selections are implemented here on top of ``networkx`` so every
+probability/mobility protocol and the benchmarks share one implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+LinkKey = Tuple[Hashable, Hashable]
+
+
+def path_lifetime(link_lifetimes: Sequence[float]) -> float:
+    """Path lifetime = minimum link lifetime (0 for an empty path)."""
+    if not link_lifetimes:
+        return 0.0
+    return min(link_lifetimes)
+
+
+def path_reliability(link_probabilities: Sequence[float]) -> float:
+    """Path reliability = product of link availability probabilities."""
+    result = 1.0
+    for probability in link_probabilities:
+        if probability < 0.0 or probability > 1.0:
+            raise ValueError(f"link probability {probability} outside [0, 1]")
+        result *= probability
+    return result
+
+
+def _build_graph(
+    links: Dict[LinkKey, float],
+) -> nx.Graph:
+    graph = nx.Graph()
+    for (a, b), value in links.items():
+        graph.add_edge(a, b, value=value)
+    return graph
+
+
+def widest_lifetime_path(
+    links: Dict[LinkKey, float], source: Hashable, destination: Hashable
+) -> Tuple[List[Hashable], float]:
+    """Path maximising the minimum link lifetime.
+
+    Args:
+        links: Mapping of (node, node) to the link's (predicted) lifetime.
+        source: Path start node.
+        destination: Path end node.
+
+    Returns:
+        ``(path, bottleneck_lifetime)``.  Raises ``nx.NetworkXNoPath`` when
+        the destination is unreachable.
+    """
+    graph = _build_graph(links)
+    if source not in graph or destination not in graph:
+        raise nx.NetworkXNoPath(f"no path between {source} and {destination}")
+    # Binary search over distinct lifetimes would be faster asymptotically;
+    # a modified Dijkstra (maximise the minimum) is simpler and fast enough.
+    best_bottleneck: Dict[Hashable, float] = {source: math.inf}
+    predecessor: Dict[Hashable, Hashable] = {}
+    import heapq
+
+    heap: List[Tuple[float, Hashable]] = [(-math.inf, source)]
+    visited: set = set()
+    while heap:
+        negative_bottleneck, node = heapq.heappop(heap)
+        bottleneck = -negative_bottleneck
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == destination:
+            break
+        for neighbour in graph.neighbors(node):
+            if neighbour in visited:
+                continue
+            lifetime = graph.edges[node, neighbour]["value"]
+            candidate = min(bottleneck, lifetime)
+            if candidate > best_bottleneck.get(neighbour, -math.inf):
+                best_bottleneck[neighbour] = candidate
+                predecessor[neighbour] = node
+                heapq.heappush(heap, (-candidate, neighbour))
+    if destination not in best_bottleneck:
+        raise nx.NetworkXNoPath(f"no path between {source} and {destination}")
+    path = [destination]
+    while path[-1] != source:
+        path.append(predecessor[path[-1]])
+    path.reverse()
+    return path, best_bottleneck[destination]
+
+
+def most_reliable_path(
+    links: Dict[LinkKey, float], source: Hashable, destination: Hashable
+) -> Tuple[List[Hashable], float]:
+    """Path maximising the product of link probabilities.
+
+    Args:
+        links: Mapping of (node, node) to the link availability probability.
+        source: Path start node.
+        destination: Path end node.
+
+    Returns:
+        ``(path, reliability)``.  Raises ``nx.NetworkXNoPath`` when no path
+        with strictly positive reliability exists.
+    """
+    graph = nx.Graph()
+    for (a, b), probability in links.items():
+        if probability < 0.0 or probability > 1.0:
+            raise ValueError(f"link probability {probability} outside [0, 1]")
+        if probability <= 0.0:
+            continue
+        graph.add_edge(a, b, weight=-math.log(probability))
+    if source not in graph or destination not in graph:
+        raise nx.NetworkXNoPath(f"no path between {source} and {destination}")
+    path = nx.shortest_path(graph, source, destination, weight="weight")
+    cost = nx.shortest_path_length(graph, source, destination, weight="weight")
+    return list(path), math.exp(-cost)
+
+
+def minimum_delay_path_with_reliability(
+    delay_links: Dict[LinkKey, float],
+    reliability_links: Dict[LinkKey, float],
+    source: Hashable,
+    destination: Hashable,
+    min_reliability: float,
+) -> Optional[Tuple[List[Hashable], float, float]]:
+    """Smallest-delay path whose reliability meets a threshold (GVGrid-style QoS).
+
+    Enumerate paths in increasing delay order (via Yen's algorithm as
+    provided by networkx ``shortest_simple_paths``) and return the first one
+    whose reliability is at least ``min_reliability``.  Returns ``None`` when
+    no such path exists among the first 50 candidates.
+    """
+    graph = nx.Graph()
+    for (a, b), delay in delay_links.items():
+        graph.add_edge(a, b, delay=delay)
+    if source not in graph or destination not in graph:
+        return None
+
+    def reliability_of(path: List[Hashable]) -> float:
+        probabilities = []
+        for a, b in zip(path, path[1:]):
+            probability = reliability_links.get((a, b), reliability_links.get((b, a), 0.0))
+            probabilities.append(probability)
+        return path_reliability(probabilities)
+
+    try:
+        candidates: Iterable[List[Hashable]] = nx.shortest_simple_paths(
+            graph, source, destination, weight="delay"
+        )
+    except nx.NetworkXNoPath:
+        return None
+    for index, path in enumerate(candidates):
+        if index >= 50:
+            break
+        reliability = reliability_of(list(path))
+        if reliability >= min_reliability:
+            delay = sum(
+                graph.edges[a, b]["delay"] for a, b in zip(path, path[1:])
+            )
+            return list(path), delay, reliability
+    return None

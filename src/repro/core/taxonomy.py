@@ -1,0 +1,150 @@
+"""The five-category taxonomy of VANET routing protocols (paper Fig. 1).
+
+Every protocol implementation in :mod:`repro.protocols` registers itself in
+the global :class:`TaxonomyRegistry` with its category, so the registry can
+regenerate Fig. 1 (which protocol belongs to which category) and the
+benchmarks can iterate "one representative per category" without hard-coding
+class lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Type
+
+
+class Category(Enum):
+    """The five routing-metric categories of Fig. 1."""
+
+    CONNECTIVITY = "connectivity"
+    MOBILITY = "mobility"
+    INFRASTRUCTURE = "infrastructure"
+    GEOGRAPHIC = "geographic"
+    PROBABILITY = "probability"
+
+    @property
+    def description(self) -> str:
+        """One-line description of the category, paraphrasing Sec. II."""
+        return {
+            Category.CONNECTIVITY: (
+                "Flooding-based route discovery over the connectivity graph "
+                "(AODV, DSR, DSDV, Biswas)."
+            ),
+            Category.MOBILITY: (
+                "Link lifetime / direction prediction from relative mobility "
+                "(PBR, Taleb, Abedi, Wedde, NiuDe)."
+            ),
+            Category.INFRASTRUCTURE: (
+                "Fixed road-side units or bus ferries relay and buffer packets "
+                "(DRR, SARC, Bus)."
+            ),
+            Category.GEOGRAPHIC: (
+                "Positions partition the road into zones/grids and packets move "
+                "greedily toward the destination (CarNet, Zone, Greedy, ROVER, LORA-DCBF)."
+            ),
+            Category.PROBABILITY: (
+                "A probability model of link existence/duration drives selective "
+                "probing and path selection (Yan, GVGrid, CAR, REAR, NiuDe)."
+            ),
+        }[self]
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """Registry entry for one protocol implementation."""
+
+    name: str
+    category: Category
+    description: str
+    paper_reference: str = ""
+    protocol_class: Optional[type] = None
+
+
+class TaxonomyRegistry:
+    """Registry mapping protocol names to their taxonomy entries."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, ProtocolInfo] = {}
+
+    def register(self, info: ProtocolInfo) -> None:
+        """Add (or replace) a protocol entry."""
+        self._by_name[info.name] = info
+
+    def get(self, name: str) -> ProtocolInfo:
+        """Look up a protocol by name."""
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def protocols(self) -> List[ProtocolInfo]:
+        """All registered protocols, sorted by (category, name)."""
+        return sorted(self._by_name.values(), key=lambda p: (p.category.value, p.name))
+
+    def in_category(self, category: Category) -> List[ProtocolInfo]:
+        """All protocols registered under ``category``."""
+        return [info for info in self.protocols if info.category is category]
+
+    def categories_covered(self) -> List[Category]:
+        """Categories that have at least one registered protocol."""
+        present = {info.category for info in self._by_name.values()}
+        return [category for category in Category if category in present]
+
+    def category_of(self, name: str) -> Category:
+        """Category of a protocol name."""
+        return self._by_name[name].category
+
+    def as_table(self) -> List[Dict[str, str]]:
+        """Rows suitable for printing the Fig. 1 taxonomy."""
+        return [
+            {
+                "category": info.category.value,
+                "protocol": info.name,
+                "description": info.description,
+                "reference": info.paper_reference,
+            }
+            for info in self.protocols
+        ]
+
+
+#: The process-wide registry that ``@register_protocol`` populates.
+global_registry = TaxonomyRegistry()
+
+
+def register_protocol(
+    name: str,
+    category: Category,
+    description: str,
+    paper_reference: str = "",
+    registry: Optional[TaxonomyRegistry] = None,
+):
+    """Class decorator registering a protocol implementation in the taxonomy.
+
+    Usage::
+
+        @register_protocol("AODV", Category.CONNECTIVITY, "on-demand distance vector", "[6]")
+        class AodvProtocol(RoutingProtocol):
+            ...
+    """
+
+    target_registry = registry if registry is not None else global_registry
+
+    def decorator(cls: Type) -> Type:
+        info = ProtocolInfo(
+            name=name,
+            category=category,
+            description=description,
+            paper_reference=paper_reference,
+            protocol_class=cls,
+        )
+        target_registry.register(info)
+        cls.protocol_name = name
+        cls.category = category
+        return cls
+
+    return decorator

@@ -1,0 +1,28 @@
+"""Experiment harness: scenarios, runners, sweeps and reporting.
+
+The benchmarks in ``benchmarks/`` are thin wrappers around this package:
+each defines a scenario (or a sweep of scenarios), runs one or more protocols
+through :class:`~repro.harness.runner.ExperimentRunner`, and prints the rows
+of the corresponding figure or table of the paper.
+"""
+
+from repro.harness.compare import category_comparison, category_representatives
+from repro.harness.reporting import format_table, rows_to_csv
+from repro.harness.runner import ExperimentRunner, RunResult
+from repro.harness.scenario import FlowSpec, RadioConfig, Scenario, ScenarioKind
+from repro.harness.sweep import sweep_densities, sweep_protocols
+
+__all__ = [
+    "category_comparison",
+    "category_representatives",
+    "format_table",
+    "rows_to_csv",
+    "ExperimentRunner",
+    "RunResult",
+    "FlowSpec",
+    "RadioConfig",
+    "Scenario",
+    "ScenarioKind",
+    "sweep_densities",
+    "sweep_protocols",
+]

@@ -1,0 +1,88 @@
+"""Plain-text tables and CSV output for benchmark results."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Format dictionaries as an aligned plain-text table.
+
+    Args:
+        rows: One dictionary per row.
+        columns: Column order (defaults to the keys of the first row).
+        precision: Decimal places for float values.
+        title: Optional title printed above the table.
+
+    Returns:
+        The formatted table as a string (ending without a trailing newline).
+    """
+    if not rows:
+        return title or "(no rows)"
+    selected = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: List[List[str]] = [[str(column) for column in selected]]
+    for row in rows:
+        rendered.append([_format_value(row.get(column, ""), precision) for column in selected])
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(selected))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header, *body = rendered
+    lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for line in body:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(
+    path: Union[str, Path],
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write rows to a CSV file."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return
+    selected = list(columns) if columns is not None else list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=selected, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def summarize_results(rows: Iterable[Dict[str, object]], group_key: str) -> List[Dict[str, object]]:
+    """Average numeric columns of ``rows`` grouped by ``group_key``."""
+    grouped: Dict[object, List[Dict[str, object]]] = {}
+    for row in rows:
+        grouped.setdefault(row.get(group_key), []).append(row)
+    summary: List[Dict[str, object]] = []
+    for key, bucket in grouped.items():
+        merged: Dict[str, object] = {group_key: key, "runs": len(bucket)}
+        numeric_keys = {
+            column
+            for row in bucket
+            for column, value in row.items()
+            if isinstance(value, (int, float)) and column != group_key
+        }
+        for column in sorted(numeric_keys):
+            values = [float(row[column]) for row in bucket if column in row]
+            if values:
+                merged[column] = sum(values) / len(values)
+        summary.append(merged)
+    return summary

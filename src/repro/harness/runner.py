@@ -1,0 +1,337 @@
+"""Turn a :class:`~repro.harness.scenario.Scenario` into a simulation run.
+
+The runner builds the mobility model, the network, the radio, the
+infrastructure and the application flows, attaches the requested protocol to
+every node, runs the simulation and returns the collected metrics.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.geometry import Vec2
+from repro.mobility.generator import make_highway_scenario, make_manhattan_scenario
+from repro.mobility.random_waypoint import RandomWaypointConfig, RandomWaypointMobility
+from repro.mobility.vehicle import VehiclePositionProvider
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.location import LocationService
+from repro.protocols.registry import make_protocol_factory
+from repro.radio.propagation import (
+    LogNormalShadowing,
+    TwoRayGroundPropagation,
+    UnitDiskPropagation,
+)
+from repro.radio.reception import SnrThresholdReception
+from repro.roadnet.graph import RoadGraph
+from repro.roadnet.grid import build_highway_graph, build_manhattan_graph
+from repro.roadnet.rsu_placement import place_along_highway, place_at_intersections
+from repro.sim.engine import Simulator
+from repro.sim.medium import WirelessMedium
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node, NodeKind
+from repro.sim.statistics import StatsCollector
+from repro.sim.trace import EventTrace
+from repro.harness.scenario import FlowSpec, Scenario, ScenarioKind
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (scenario, protocol) run."""
+
+    scenario_name: str
+    protocol: str
+    summary: Dict[str, float]
+    stats: StatsCollector
+    flow_details: List[Dict[str, float]] = field(default_factory=list)
+    vehicle_count: int = 0
+    rsu_count: int = 0
+    wall_clock_s: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Aggregate packet delivery ratio of the run."""
+        return self.summary["delivery_ratio"]
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Control transmissions per delivered data packet."""
+        return self.summary["overhead_ratio"]
+
+    def row(self) -> Dict[str, float]:
+        """Flat row (scenario + protocol + headline metrics) for reporting."""
+        row: Dict[str, float] = {
+            "scenario": self.scenario_name,
+            "protocol": self.protocol,
+            "vehicles": self.vehicle_count,
+            "rsus": self.rsu_count,
+        }
+        row.update(self.summary)
+        row.update(self.extra)
+        return row
+
+
+class BuiltScenario:
+    """A scenario instantiated into live simulation objects (pre-run)."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        sim: Simulator,
+        network: Network,
+        stats: StatsCollector,
+        vehicle_nodes: List[Node],
+        road_graph: Optional[RoadGraph],
+        trace: EventTrace,
+    ) -> None:
+        self.scenario = scenario
+        self.sim = sim
+        self.network = network
+        self.stats = stats
+        self.vehicle_nodes = vehicle_nodes
+        self.road_graph = road_graph
+        self.trace = trace
+
+
+class ExperimentRunner:
+    """Build and run scenarios."""
+
+    def __init__(self, trace_enabled: bool = False, trace_max_records: int = 50_000) -> None:
+        self.trace_enabled = trace_enabled
+        self.trace_max_records = trace_max_records
+
+    # ------------------------------------------------------------------ build
+    def build(self, scenario: Scenario) -> BuiltScenario:
+        """Instantiate the mobility, radio, network and infrastructure of a scenario."""
+        sim = Simulator(seed=scenario.seed)
+        stats = StatsCollector()
+        trace = EventTrace(enabled=self.trace_enabled, max_records=self.trace_max_records)
+        propagation = self._build_propagation(scenario, sim)
+        reception = SnrThresholdReception()
+        medium = WirelessMedium(
+            sim, propagation=propagation, reception=reception, stats=stats, trace=trace
+        )
+        mobility, road_graph = self._build_mobility(scenario)
+        network = Network(
+            sim,
+            medium=medium,
+            stats=stats,
+            mobility=mobility,
+            config=NetworkConfig(mobility_step=scenario.mobility_step_s),
+            trace=trace,
+        )
+        vehicle_nodes: List[Node] = []
+        for index, vehicle in enumerate(mobility.vehicles):
+            provider = VehiclePositionProvider(vehicle)
+            if index < scenario.bus_count:
+                node = network.add_bus(provider)
+            else:
+                node = network.add_vehicle(provider)
+            node.tx_power_dbm = scenario.radio.tx_power_dbm
+            vehicle_nodes.append(node)
+        for position in self._rsu_positions(scenario, road_graph):
+            rsu = network.add_rsu(position)
+            rsu.tx_power_dbm = scenario.radio.tx_power_dbm
+        return BuiltScenario(scenario, sim, network, stats, vehicle_nodes, road_graph, trace)
+
+    def _build_propagation(self, scenario: Scenario, sim: Simulator):
+        radio = scenario.radio
+        if radio.propagation == "unit_disk":
+            return UnitDiskPropagation(radio.communication_range_m)
+        if radio.propagation == "two_ray":
+            return TwoRayGroundPropagation()
+        if radio.propagation == "shadowing":
+            return LogNormalShadowing(
+                path_loss_exponent=radio.path_loss_exponent,
+                sigma_db=radio.shadowing_sigma_db,
+                rng=sim.rng.stream("shadowing"),
+            )
+        raise ValueError(f"unknown propagation model {radio.propagation!r}")
+
+    def _build_mobility(self, scenario: Scenario) -> Tuple[object, Optional[RoadGraph]]:
+        if scenario.kind is ScenarioKind.HIGHWAY:
+            mobility = make_highway_scenario(
+                scenario.density,
+                config=scenario.highway,
+                seed=scenario.seed,
+                max_vehicles=scenario.max_vehicles,
+            )
+            graph = build_highway_graph(scenario.highway.length_m)
+            return mobility, graph
+        if scenario.kind is ScenarioKind.MANHATTAN:
+            mobility = make_manhattan_scenario(
+                scenario.density,
+                config=scenario.manhattan,
+                seed=scenario.seed,
+                max_vehicles=scenario.max_vehicles,
+            )
+            graph = build_manhattan_graph(
+                scenario.manhattan.blocks_x,
+                scenario.manhattan.blocks_y,
+                scenario.manhattan.block_size_m,
+            )
+            return mobility, graph
+        if scenario.kind is ScenarioKind.RANDOM_WAYPOINT:
+            mobility = RandomWaypointMobility(RandomWaypointConfig())
+            count = scenario.max_vehicles if scenario.max_vehicles is not None else 50
+            for _ in range(count):
+                mobility.add_vehicle()
+            return mobility, None
+        raise ValueError(f"unknown scenario kind {scenario.kind!r}")
+
+    def _rsu_positions(
+        self, scenario: Scenario, road_graph: Optional[RoadGraph]
+    ) -> List[Vec2]:
+        if scenario.rsu_spacing_m is None:
+            return []
+        if scenario.kind is ScenarioKind.HIGHWAY:
+            return place_along_highway(scenario.highway.length_m, scenario.rsu_spacing_m)
+        if scenario.kind is ScenarioKind.MANHATTAN and road_graph is not None:
+            block = scenario.manhattan.block_size_m
+            every_k = max(1, int(round(scenario.rsu_spacing_m / block)))
+            return place_at_intersections(road_graph, every_k=every_k)
+        return []
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        scenario: Scenario,
+        protocol_name: str,
+        protocol_config: Optional[ProtocolConfig] = None,
+    ) -> RunResult:
+        """Run ``protocol_name`` through ``scenario`` and return the metrics."""
+        started_wall = time.perf_counter()
+        built = self.build(scenario)
+        location_service = LocationService(built.network)
+        factory = make_protocol_factory(
+            protocol_name,
+            config=protocol_config,
+            location_service=location_service,
+            road_graph=built.road_graph,
+        )
+        built.network.attach_protocols(factory)
+        flows = self._schedule_flows(built)
+        built.network.start()
+        built.sim.run(until=scenario.duration_s + scenario.drain_s)
+        summary = built.stats.summary()
+        extra = self._derive_extra(built, flows)
+        result = RunResult(
+            scenario_name=scenario.name,
+            protocol=protocol_name,
+            summary=summary,
+            stats=built.stats,
+            flow_details=[
+                {
+                    "flow_id": float(flow.flow_id),
+                    "delivery_ratio": flow.delivery_ratio,
+                    "mean_delay_s": flow.mean_delay,
+                    "mean_hops": flow.mean_hops,
+                }
+                for flow in built.stats.flows.values()
+            ],
+            vehicle_count=len(built.vehicle_nodes),
+            rsu_count=len(built.network.rsus),
+            wall_clock_s=time.perf_counter() - started_wall,
+            extra=extra,
+        )
+        return result
+
+    # -------------------------------------------------------------- app flows
+    def _schedule_flows(self, built: BuiltScenario) -> List[Dict[str, float]]:
+        scenario = built.scenario
+        rng = built.sim.rng.stream("traffic")
+        specs = list(scenario.flows)
+        if not specs:
+            template = scenario.flow_template
+            specs = [
+                FlowSpec(
+                    start_time_s=template.start_time_s,
+                    interval_s=template.interval_s,
+                    packet_count=template.packet_count,
+                    size_bytes=template.size_bytes,
+                )
+                for _ in range(scenario.default_flow_count)
+            ]
+        flows: List[Dict[str, float]] = []
+        vehicles = built.vehicle_nodes
+        if len(vehicles) < 2:
+            return flows
+        #: Lower-bound hop counts sampled at every packet-send instant; used
+        #: by :meth:`_derive_extra` to estimate the path stretch.
+        self._ideal_hop_samples: List[float] = []
+        for flow_id, spec in enumerate(specs, start=1):
+            source_index = spec.source_index
+            destination_index = spec.destination_index
+            if source_index is None or destination_index is None:
+                source_index, destination_index = self._pick_pair(rng, len(vehicles))
+            source = vehicles[source_index % len(vehicles)]
+            destination = vehicles[destination_index % len(vehicles)]
+            built.stats.register_flow(flow_id, source.node_id, destination.node_id)
+            flows.append(
+                {
+                    "flow_id": flow_id,
+                    "source": source.node_id,
+                    "destination": destination.node_id,
+                }
+            )
+            for packet_index in range(spec.packet_count):
+                send_time = spec.start_time_s + packet_index * spec.interval_s
+                if send_time > scenario.duration_s:
+                    break
+                built.sim.schedule_at(
+                    send_time,
+                    self._send_flow_packet,
+                    built,
+                    source,
+                    destination,
+                    spec.size_bytes,
+                    flow_id,
+                    packet_index + 1,
+                )
+        return flows
+
+    @staticmethod
+    def _pick_pair(rng, count: int) -> Tuple[int, int]:
+        source = rng.randrange(count)
+        destination = rng.randrange(count)
+        while destination == source:
+            destination = rng.randrange(count)
+        return source, destination
+
+    def _send_flow_packet(
+        self,
+        built: BuiltScenario,
+        source: Node,
+        destination: Node,
+        size_bytes: int,
+        flow_id: int,
+        seq: int,
+    ) -> None:
+        self._ideal_hop_samples.append(self._ideal_hops(built, source, destination))
+        if source.protocol is not None:
+            source.protocol.send_data(
+                destination.node_id, size_bytes=size_bytes, flow_id=flow_id, seq=seq
+            )
+
+    def _ideal_hops(self, built: BuiltScenario, source: Node, destination: Node) -> float:
+        """Lower bound on hop count: straight-line distance over the radio range."""
+        range_m = built.scenario.radio.communication_range_m
+        distance = source.position.distance_to(destination.position)
+        return max(1.0, math.ceil(distance / max(range_m, 1.0)))
+
+    def _derive_extra(
+        self, built: BuiltScenario, flows: List[Dict[str, float]]
+    ) -> Dict[str, float]:
+        extra: Dict[str, float] = {}
+        samples = getattr(self, "_ideal_hop_samples", [])
+        if flows and samples:
+            extra["mean_ideal_hops"] = sum(samples) / len(samples)
+            measured = built.stats.mean_hops
+            if measured > 0 and extra["mean_ideal_hops"] > 0:
+                extra["path_stretch"] = measured / extra["mean_ideal_hops"]
+            else:
+                extra["path_stretch"] = 0.0
+        return extra

@@ -1,0 +1,143 @@
+"""Scenario descriptions.
+
+A :class:`Scenario` is a declarative description of one simulation setting:
+the mobility model and traffic density, the radio, the infrastructure, the
+application traffic and the run length.  The runner turns it into a live
+:class:`~repro.sim.network.Network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.mobility.generator import TrafficDensity
+from repro.mobility.highway import HighwayConfig
+from repro.mobility.manhattan import ManhattanConfig
+
+
+class ScenarioKind(Enum):
+    """Which mobility substrate the scenario uses."""
+
+    HIGHWAY = "highway"
+    MANHATTAN = "manhattan"
+    RANDOM_WAYPOINT = "random_waypoint"
+
+
+@dataclass
+class RadioConfig:
+    """Radio configuration of a scenario.
+
+    Attributes:
+        propagation: ``"unit_disk"``, ``"two_ray"`` or ``"shadowing"``.
+        communication_range_m: Range of the unit-disk model (and the range
+            assumption handed to protocols' prediction models).
+        tx_power_dbm: Transmit power for the physical models.
+        shadowing_sigma_db: Shadowing spread for the ``"shadowing"`` model.
+        path_loss_exponent: Path-loss exponent for the ``"shadowing"`` model.
+    """
+
+    propagation: str = "unit_disk"
+    communication_range_m: float = 250.0
+    tx_power_dbm: float = 20.0
+    shadowing_sigma_db: float = 4.0
+    path_loss_exponent: float = 2.8
+
+
+@dataclass
+class FlowSpec:
+    """One constant-bit-rate application flow.
+
+    Attributes:
+        source_index / destination_index: Indices into the scenario's vehicle
+            list (``None`` lets the runner pick distinct random vehicles).
+        start_time_s: When the first packet is sent.
+        interval_s: Inter-packet interval.
+        packet_count: Number of packets in the flow.
+        size_bytes: Payload size.
+    """
+
+    source_index: Optional[int] = None
+    destination_index: Optional[int] = None
+    start_time_s: float = 5.0
+    interval_s: float = 1.0
+    packet_count: int = 20
+    size_bytes: int = 512
+
+
+@dataclass
+class Scenario:
+    """A complete simulation setting.
+
+    Attributes:
+        name: Label used in reports.
+        kind: Mobility substrate.
+        density: Traffic density regime (sparse / normal / congested).
+        duration_s: Simulated time after which flows stop being evaluated.
+        drain_s: Extra simulated time to let in-flight packets arrive.
+        seed: Master random seed (mobility, radio, MAC and traffic all derive
+            their streams from it).
+        max_vehicles: Cap on the vehicle population (keeps congested runs
+            tractable); ``None`` means no cap.
+        highway / manhattan: Mobility-model configurations.
+        radio: Radio configuration.
+        rsu_spacing_m: Distance between road-side units (``None`` = no RSUs).
+        bus_count: Number of vehicles designated as buses (Bus-Ferry).
+        flows: Application flows; when empty, ``default_flow_count`` random
+            flows are generated.
+        default_flow_count: Number of random flows when ``flows`` is empty.
+        flow_template: Template used for generated flows.
+        mobility_step_s: Mobility update interval.
+    """
+
+    name: str = "scenario"
+    kind: ScenarioKind = ScenarioKind.HIGHWAY
+    density: TrafficDensity = TrafficDensity.NORMAL
+    duration_s: float = 40.0
+    drain_s: float = 3.0
+    seed: int = 1
+    max_vehicles: Optional[int] = 200
+    highway: HighwayConfig = field(default_factory=HighwayConfig)
+    manhattan: ManhattanConfig = field(default_factory=ManhattanConfig)
+    radio: RadioConfig = field(default_factory=RadioConfig)
+    rsu_spacing_m: Optional[float] = None
+    bus_count: int = 0
+    flows: List[FlowSpec] = field(default_factory=list)
+    default_flow_count: int = 6
+    flow_template: FlowSpec = field(default_factory=FlowSpec)
+    mobility_step_s: float = 0.5
+
+    def with_overrides(self, **overrides) -> "Scenario":
+        """A copy of this scenario with the given attributes replaced."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+def highway_scenario(
+    density: TrafficDensity = TrafficDensity.NORMAL,
+    name: Optional[str] = None,
+    **overrides,
+) -> Scenario:
+    """Convenience constructor for a highway scenario at a given density."""
+    scenario = Scenario(
+        name=name if name is not None else f"highway-{density.value}",
+        kind=ScenarioKind.HIGHWAY,
+        density=density,
+    )
+    return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def manhattan_scenario(
+    density: TrafficDensity = TrafficDensity.NORMAL,
+    name: Optional[str] = None,
+    **overrides,
+) -> Scenario:
+    """Convenience constructor for an urban-grid scenario at a given density."""
+    scenario = Scenario(
+        name=name if name is not None else f"manhattan-{density.value}",
+        kind=ScenarioKind.MANHATTAN,
+        density=density,
+    )
+    return scenario.with_overrides(**overrides) if overrides else scenario

@@ -1,0 +1,62 @@
+"""Parameter sweeps over scenarios and protocols."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.harness.runner import ExperimentRunner, RunResult
+from repro.harness.scenario import Scenario
+from repro.mobility.generator import TrafficDensity
+from repro.protocols.base import ProtocolConfig
+
+
+def sweep_protocols(
+    scenario: Scenario,
+    protocol_names: Sequence[str],
+    runner: Optional[ExperimentRunner] = None,
+    protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
+) -> List[RunResult]:
+    """Run every protocol in ``protocol_names`` through the same scenario."""
+    runner = runner if runner is not None else ExperimentRunner()
+    configs = protocol_configs or {}
+    results: List[RunResult] = []
+    for name in protocol_names:
+        results.append(runner.run(scenario, name, protocol_config=configs.get(name)))
+    return results
+
+
+def sweep_densities(
+    base_scenario: Scenario,
+    protocol_names: Sequence[str],
+    densities: Iterable[TrafficDensity] = (
+        TrafficDensity.SPARSE,
+        TrafficDensity.NORMAL,
+        TrafficDensity.CONGESTED,
+    ),
+    runner: Optional[ExperimentRunner] = None,
+    protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
+) -> List[RunResult]:
+    """Run every protocol at every traffic density derived from ``base_scenario``."""
+    runner = runner if runner is not None else ExperimentRunner()
+    results: List[RunResult] = []
+    for density in densities:
+        scenario = base_scenario.with_overrides(
+            density=density, name=f"{base_scenario.name}-{density.value}"
+        )
+        results.extend(
+            sweep_protocols(scenario, protocol_names, runner=runner, protocol_configs=protocol_configs)
+        )
+    return results
+
+
+def sweep_scenarios(
+    scenarios: Sequence[Scenario],
+    protocol_names: Sequence[str],
+    runner: Optional[ExperimentRunner] = None,
+) -> List[RunResult]:
+    """Run every protocol through every scenario."""
+    runner = runner if runner is not None else ExperimentRunner()
+    results: List[RunResult] = []
+    for scenario in scenarios:
+        results.extend(sweep_protocols(scenario, protocol_names, runner=runner))
+    return results

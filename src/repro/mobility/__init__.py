@@ -1,0 +1,63 @@
+"""Vehicular mobility models.
+
+The paper identifies mobility as "the major reason of the network
+instability" (Sec. IV.A): relative speed, acceleration and travel direction
+determine how long a communication link lives.  This package provides the
+mobility substrate the routing experiments run on:
+
+* :class:`~repro.mobility.vehicle.VehicleState` -- kinematic state shared by
+  all models.
+* :class:`~repro.mobility.highway.HighwayMobility` -- multi-lane,
+  bidirectional highway driven by the IDM car-following model and MOBIL lane
+  changes (the scenario of the paper's introduction and of PBR/Taleb).
+* :class:`~repro.mobility.manhattan.ManhattanMobility` -- urban grid used by
+  the infrastructure and geographic categories.
+* :class:`~repro.mobility.random_waypoint.RandomWaypointMobility` -- the
+  classic MANET baseline.
+* :mod:`~repro.mobility.fcd_trace` -- SUMO-style floating-car-data trace
+  writing, reading and replay (our substitution for real SUMO traces).
+* :mod:`~repro.mobility.generator` -- traffic-density presets (sparse /
+  normal / congested) used by the Table I benchmarks.
+"""
+
+from repro.mobility.fcd_trace import (
+    FcdSample,
+    TraceReplayMobility,
+    read_fcd_trace,
+    record_fcd_trace,
+    write_fcd_trace,
+)
+from repro.mobility.generator import (
+    TrafficDensity,
+    make_highway_scenario,
+    make_manhattan_scenario,
+)
+from repro.mobility.highway import HighwayConfig, HighwayMobility
+from repro.mobility.idm import IdmParameters, idm_acceleration
+from repro.mobility.lane_change import MobilParameters, should_change_lane
+from repro.mobility.manhattan import ManhattanConfig, ManhattanMobility
+from repro.mobility.random_waypoint import RandomWaypointConfig, RandomWaypointMobility
+from repro.mobility.vehicle import VehiclePositionProvider, VehicleState
+
+__all__ = [
+    "FcdSample",
+    "TraceReplayMobility",
+    "read_fcd_trace",
+    "record_fcd_trace",
+    "write_fcd_trace",
+    "TrafficDensity",
+    "make_highway_scenario",
+    "make_manhattan_scenario",
+    "HighwayConfig",
+    "HighwayMobility",
+    "IdmParameters",
+    "idm_acceleration",
+    "MobilParameters",
+    "should_change_lane",
+    "ManhattanConfig",
+    "ManhattanMobility",
+    "RandomWaypointConfig",
+    "RandomWaypointMobility",
+    "VehiclePositionProvider",
+    "VehicleState",
+]

@@ -1,0 +1,173 @@
+"""Floating-car-data (FCD) traces: recording, file I/O and replay.
+
+Vehicular routing studies are normally driven by SUMO FCD traces.  Real SUMO
+traces are not available offline, so the reproduction substitutes them with
+traces *recorded from our own mobility models* in the same tabular format
+(time, vehicle id, x, y, speed, heading).  The replay path is identical to
+what would consume a real SUMO export: anything that can be parsed into
+:class:`FcdSample` rows can drive a simulation through
+:class:`TraceReplayMobility`.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.geometry import Vec2
+from repro.mobility.vehicle import VehicleState
+
+#: Column order of the CSV representation.
+FCD_FIELDS = ("time", "vid", "x", "y", "speed", "heading")
+
+
+@dataclass(frozen=True)
+class FcdSample:
+    """One row of a floating-car-data trace."""
+
+    time: float
+    vid: int
+    x: float
+    y: float
+    speed: float
+    heading: float
+
+
+def record_fcd_trace(
+    mobility,
+    duration: float,
+    dt: float = 1.0,
+    start_time: float = 0.0,
+) -> List[FcdSample]:
+    """Run ``mobility`` for ``duration`` seconds and record samples every ``dt``.
+
+    The mobility model must expose ``vehicles`` and ``step(dt, now)``; every
+    model in :mod:`repro.mobility` qualifies.
+    """
+    if dt <= 0:
+        raise ValueError("sampling interval must be positive")
+    samples: List[FcdSample] = []
+    now = start_time
+    steps = int(round(duration / dt))
+    for _ in range(steps + 1):
+        for vehicle in mobility.vehicles:
+            samples.append(
+                FcdSample(
+                    time=now,
+                    vid=vehicle.vid,
+                    x=vehicle.position.x,
+                    y=vehicle.position.y,
+                    speed=vehicle.speed,
+                    heading=vehicle.heading,
+                )
+            )
+        mobility.step(dt, now + dt)
+        now += dt
+    return samples
+
+
+def write_fcd_trace(path: Union[str, Path], samples: Iterable[FcdSample]) -> None:
+    """Write samples to a CSV file with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(FCD_FIELDS)
+        for sample in samples:
+            writer.writerow(
+                [sample.time, sample.vid, sample.x, sample.y, sample.speed, sample.heading]
+            )
+
+
+def read_fcd_trace(path: Union[str, Path]) -> List[FcdSample]:
+    """Read samples from a CSV file written by :func:`write_fcd_trace`."""
+    path = Path(path)
+    samples: List[FcdSample] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            samples.append(
+                FcdSample(
+                    time=float(row["time"]),
+                    vid=int(row["vid"]),
+                    x=float(row["x"]),
+                    y=float(row["y"]),
+                    speed=float(row["speed"]),
+                    heading=float(row["heading"]),
+                )
+            )
+    samples.sort(key=lambda s: (s.vid, s.time))
+    return samples
+
+
+class TraceReplayMobility:
+    """Drive vehicle positions from a recorded FCD trace.
+
+    Positions are linearly interpolated between the bracketing samples, so the
+    replay can be stepped on a finer grid than the trace was recorded on.
+    """
+
+    def __init__(self, samples: Sequence[FcdSample]) -> None:
+        if not samples:
+            raise ValueError("cannot replay an empty trace")
+        self._by_vid: Dict[int, List[FcdSample]] = {}
+        for sample in sorted(samples, key=lambda s: (s.vid, s.time)):
+            self._by_vid.setdefault(sample.vid, []).append(sample)
+        self.vehicles: List[VehicleState] = []
+        for vid, rows in sorted(self._by_vid.items()):
+            first = rows[0]
+            state = VehicleState(
+                vid=vid,
+                position=Vec2(first.x, first.y),
+                speed=first.speed,
+                heading=first.heading,
+                lane=-1,
+            )
+            self.vehicles.append(state)
+        self.time = min(rows[0].time for rows in self._by_vid.values())
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the trace."""
+        start = min(rows[0].time for rows in self._by_vid.values())
+        end = max(rows[-1].time for rows in self._by_vid.values())
+        return end - start
+
+    def step(self, dt: float, now: float = 0.0) -> None:
+        """Move every vehicle to its interpolated position at time ``now``."""
+        self.time = now
+        for state in self.vehicles:
+            rows = self._by_vid[state.vid]
+            sample = self._interpolate(rows, now)
+            state.position = Vec2(sample.x, sample.y)
+            state.speed = sample.speed
+            state.heading = sample.heading
+
+    @staticmethod
+    def _interpolate(rows: List[FcdSample], now: float) -> FcdSample:
+        if now <= rows[0].time:
+            return rows[0]
+        if now >= rows[-1].time:
+            return rows[-1]
+        # Binary search for the bracketing pair.
+        lo, hi = 0, len(rows) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if rows[mid].time <= now:
+                lo = mid
+            else:
+                hi = mid
+        before, after = rows[lo], rows[hi]
+        span = after.time - before.time
+        if span <= 0:
+            return after
+        alpha = (now - before.time) / span
+        return FcdSample(
+            time=now,
+            vid=before.vid,
+            x=before.x + alpha * (after.x - before.x),
+            y=before.y + alpha * (after.y - before.y),
+            speed=before.speed + alpha * (after.speed - before.speed),
+            heading=after.heading,
+        )

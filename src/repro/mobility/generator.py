@@ -1,0 +1,140 @@
+"""Traffic generators: populate mobility models at controlled densities.
+
+Table I of the paper repeatedly conditions its pros/cons on the traffic
+regime ("not working in sparse/congested traffic", "only working for a
+certain traffic").  The generators here make that axis explicit: the same
+scenario can be instantiated as SPARSE, NORMAL or CONGESTED and handed to the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import Optional
+
+from repro.geometry import Vec2
+from repro.mobility.highway import HighwayConfig, HighwayMobility
+from repro.mobility.manhattan import ManhattanConfig, ManhattanMobility
+from repro.mobility.random_waypoint import RandomWaypointConfig, RandomWaypointMobility
+
+
+class TrafficDensity(Enum):
+    """Traffic regimes used throughout the survey's qualitative comparison."""
+
+    SPARSE = "sparse"
+    NORMAL = "normal"
+    CONGESTED = "congested"
+
+    @property
+    def vehicles_per_km_per_lane(self) -> float:
+        """Linear density used for highway scenarios."""
+        return {
+            TrafficDensity.SPARSE: 3.0,
+            TrafficDensity.NORMAL: 15.0,
+            TrafficDensity.CONGESTED: 45.0,
+        }[self]
+
+    @property
+    def vehicles_per_km_of_street(self) -> float:
+        """Linear density used for Manhattan scenarios."""
+        return {
+            TrafficDensity.SPARSE: 2.0,
+            TrafficDensity.NORMAL: 8.0,
+            TrafficDensity.CONGESTED: 25.0,
+        }[self]
+
+    @property
+    def mean_speed_factor(self) -> float:
+        """Congested traffic moves slower; sparse traffic at free-flow speed."""
+        return {
+            TrafficDensity.SPARSE: 1.0,
+            TrafficDensity.NORMAL: 0.9,
+            TrafficDensity.CONGESTED: 0.5,
+        }[self]
+
+
+def make_highway_scenario(
+    density: TrafficDensity = TrafficDensity.NORMAL,
+    config: Optional[HighwayConfig] = None,
+    seed: int = 0,
+    max_vehicles: Optional[int] = None,
+) -> HighwayMobility:
+    """Create a highway populated at the requested density.
+
+    Vehicles are spread uniformly (with jitter) over every lane; desired
+    speeds follow the configured normal distribution scaled by the density's
+    speed factor (congestion slows everybody down).
+    """
+    config = config if config is not None else HighwayConfig()
+    rng = random.Random(seed)
+    highway = HighwayMobility(config=config, rng=rng)
+    per_lane = int(round(density.vehicles_per_km_per_lane * config.length_m / 1000.0))
+    per_lane = max(1, per_lane)
+    speed_mean = config.speed_limit_mps * density.mean_speed_factor
+    # Build the placement plan first and interleave across lanes, so that a
+    # population cap keeps the lanes (and both travel directions) balanced
+    # instead of truncating to the first carriageway only.
+    placements = []
+    for lane in range(config.total_lanes):
+        spacing = config.length_m / per_lane
+        for index in range(per_lane):
+            jitter = rng.uniform(-0.3, 0.3) * spacing
+            progress = (index * spacing + jitter) % config.length_m
+            placements.append((index, lane, progress))
+    placements.sort(key=lambda item: (item[0], item[1]))
+    total = 0
+    for _, lane, progress in placements:
+        if max_vehicles is not None and total >= max_vehicles:
+            break
+        desired = max(
+            config.min_desired_speed_mps,
+            rng.gauss(speed_mean, config.speed_stddev_mps),
+        )
+        highway.add_vehicle(lane, progress, desired_speed=desired)
+        total += 1
+    return highway
+
+
+def make_manhattan_scenario(
+    density: TrafficDensity = TrafficDensity.NORMAL,
+    config: Optional[ManhattanConfig] = None,
+    seed: int = 0,
+    max_vehicles: Optional[int] = None,
+) -> ManhattanMobility:
+    """Create a Manhattan grid populated at the requested density."""
+    config = config if config is not None else ManhattanConfig()
+    rng = random.Random(seed)
+    mobility = ManhattanMobility(config=config, rng=rng)
+    # Total street length: (blocks_x + 1) vertical streets of height H plus
+    # (blocks_y + 1) horizontal streets of width W.
+    street_km = (
+        (config.blocks_x + 1) * config.height_m + (config.blocks_y + 1) * config.width_m
+    ) / 1000.0
+    count = max(2, int(round(density.vehicles_per_km_of_street * street_km)))
+    if max_vehicles is not None:
+        count = min(count, max_vehicles)
+    for _ in range(count):
+        # Start at a random point on a random street (not only intersections).
+        if rng.random() < 0.5:
+            x = rng.randint(0, config.blocks_x) * config.block_size_m
+            y = rng.uniform(0.0, config.height_m)
+        else:
+            x = rng.uniform(0.0, config.width_m)
+            y = rng.randint(0, config.blocks_y) * config.block_size_m
+        mobility.add_vehicle(position=Vec2(x, y))
+    return mobility
+
+
+def make_random_waypoint_scenario(
+    count: int = 50,
+    config: Optional[RandomWaypointConfig] = None,
+    seed: int = 0,
+) -> RandomWaypointMobility:
+    """Create a random-waypoint field with ``count`` nodes."""
+    config = config if config is not None else RandomWaypointConfig()
+    rng = random.Random(seed)
+    mobility = RandomWaypointMobility(config=config, rng=rng)
+    for _ in range(count):
+        mobility.add_vehicle()
+    return mobility

@@ -1,0 +1,78 @@
+"""MOBIL-style lane-change decisions.
+
+MOBIL ("Minimizing Overall Braking Induced by Lane changes") decides whether
+a lane change is both *safe* (the new follower is not forced to brake harder
+than a limit) and *advantageous* (the changing driver gains more acceleration
+than the politeness-weighted loss it imposes on others).  Lane changes are
+what perturb platoons and break links between neighbouring vehicles, so the
+highway mobility model includes them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mobility.idm import IdmParameters, idm_acceleration
+from repro.mobility.vehicle import VehicleState
+
+
+@dataclass(frozen=True)
+class MobilParameters:
+    """MOBIL parameters.
+
+    Attributes:
+        politeness: Weight of other drivers' acceleration change (0 = selfish).
+        changing_threshold: Minimum net advantage (m/s^2) to bother changing.
+        safe_braking: Maximum deceleration imposed on the new follower (m/s^2).
+    """
+
+    politeness: float = 0.3
+    changing_threshold: float = 0.2
+    safe_braking: float = 3.0
+
+
+def _acceleration_behind(
+    follower: Optional[VehicleState],
+    leader: Optional[VehicleState],
+    idm: IdmParameters,
+) -> float:
+    """IDM acceleration of ``follower`` given ``leader`` (inf gap when absent)."""
+    if follower is None:
+        return 0.0
+    if leader is None:
+        gap = math.inf
+        approach = 0.0
+    else:
+        gap = follower.gap_to(leader)
+        approach = follower.speed - leader.speed
+    return idm_acceleration(follower.speed, follower.desired_speed, gap, approach, idm)
+
+
+def should_change_lane(
+    vehicle: VehicleState,
+    current_leader: Optional[VehicleState],
+    target_leader: Optional[VehicleState],
+    target_follower: Optional[VehicleState],
+    idm: IdmParameters = IdmParameters(),
+    mobil: MobilParameters = MobilParameters(),
+) -> bool:
+    """Return True when moving ``vehicle`` to the target lane is safe and worth it."""
+    # Safety: how hard would the new follower have to brake?
+    new_follower_acc = _acceleration_behind(target_follower, vehicle, idm)
+    if new_follower_acc < -mobil.safe_braking:
+        return False
+    # Also refuse if the vehicle itself would immediately have to brake hard.
+    own_new_acc = _acceleration_behind(vehicle, target_leader, idm)
+    if own_new_acc < -mobil.safe_braking:
+        return False
+
+    own_current_acc = _acceleration_behind(vehicle, current_leader, idm)
+    own_advantage = own_new_acc - own_current_acc
+
+    follower_before = _acceleration_behind(target_follower, target_leader, idm)
+    follower_penalty = follower_before - new_follower_acc
+
+    net_gain = own_advantage - mobil.politeness * follower_penalty
+    return net_gain > mobil.changing_threshold

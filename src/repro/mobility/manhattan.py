@@ -1,0 +1,221 @@
+"""Manhattan-grid urban mobility.
+
+Vehicles travel along the streets of a regular grid and choose a new
+direction at every intersection (straight / left / right with configurable
+probabilities).  This is the classic urban model used by the geographic and
+infrastructure categories of the survey (CarNet grids, zone routing, RSUs at
+intersections).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.geometry import Vec2
+from repro.mobility.vehicle import VehicleState
+
+#: The four axis-aligned travel directions (dx, dy).
+_DIRECTIONS: Tuple[Tuple[int, int], ...] = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+@dataclass
+class ManhattanConfig:
+    """Grid geometry and driver behaviour.
+
+    Attributes:
+        blocks_x: Number of city blocks along x.
+        blocks_y: Number of city blocks along y.
+        block_size_m: Side length of one block (street spacing).
+        speed_mean_mps: Mean desired speed (urban, ~50 km/h by default).
+        speed_stddev_mps: Standard deviation of desired speeds.
+        min_speed_mps: Lower clamp for speeds.
+        p_straight: Probability of continuing straight at an intersection.
+        p_turn: Probability of turning (split evenly left/right); the
+            remaining probability mass is a U-turn, used only at dead ends.
+        speed_relaxation: First-order relaxation rate of speed toward the
+            desired speed (1/s), adds mild speed fluctuation.
+    """
+
+    blocks_x: int = 4
+    blocks_y: int = 4
+    block_size_m: float = 200.0
+    speed_mean_mps: float = 13.9
+    speed_stddev_mps: float = 2.0
+    min_speed_mps: float = 5.0
+    p_straight: float = 0.5
+    p_turn: float = 0.5
+    speed_relaxation: float = 0.5
+
+    @property
+    def width_m(self) -> float:
+        """Extent of the grid along x."""
+        return self.blocks_x * self.block_size_m
+
+    @property
+    def height_m(self) -> float:
+        """Extent of the grid along y."""
+        return self.blocks_y * self.block_size_m
+
+
+class ManhattanMobility:
+    """Vehicles on a regular street grid with random turns at intersections."""
+
+    def __init__(
+        self,
+        config: Optional[ManhattanConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.config = config if config is not None else ManhattanConfig()
+        self._rng = rng if rng is not None else random.Random(0)
+        self.vehicles: List[VehicleState] = []
+        self._directions: dict[int, Tuple[int, int]] = {}
+        self._next_vid = 0
+        self.time = 0.0
+
+    # ----------------------------------------------------------------- fleet
+    def add_vehicle(
+        self,
+        position: Optional[Vec2] = None,
+        speed: Optional[float] = None,
+    ) -> VehicleState:
+        """Add a vehicle; a random intersection and direction are used by default."""
+        cfg = self.config
+        if position is None:
+            ix = self._rng.randint(0, cfg.blocks_x)
+            iy = self._rng.randint(0, cfg.blocks_y)
+            position = Vec2(ix * cfg.block_size_m, iy * cfg.block_size_m)
+        desired = max(
+            cfg.min_speed_mps, self._rng.gauss(cfg.speed_mean_mps, cfg.speed_stddev_mps)
+        )
+        if speed is None:
+            speed = desired
+        valid = self._valid_directions(position)
+        direction = self._rng.choice(valid) if valid else self._rng.choice(_DIRECTIONS)
+        vehicle = VehicleState(
+            vid=self._next_vid,
+            position=position,
+            speed=speed,
+            desired_speed=desired,
+            heading=math.atan2(direction[1], direction[0]),
+            lane=-1,
+        )
+        self._directions[vehicle.vid] = direction
+        self._next_vid += 1
+        self.vehicles.append(vehicle)
+        return vehicle
+
+    # ------------------------------------------------------------------ step
+    def step(self, dt: float, now: float = 0.0) -> None:
+        """Advance every vehicle by ``dt`` seconds."""
+        self.time = now
+        for vehicle in self.vehicles:
+            self._step_vehicle(vehicle, dt)
+
+    # -------------------------------------------------------------- internals
+    def _step_vehicle(self, vehicle: VehicleState, dt: float) -> None:
+        cfg = self.config
+        # Mild speed fluctuation toward the desired speed.
+        vehicle.speed += (
+            cfg.speed_relaxation * (vehicle.desired_speed - vehicle.speed) * dt
+            + self._rng.gauss(0.0, 0.2) * dt
+        )
+        vehicle.speed = max(cfg.min_speed_mps * 0.5, vehicle.speed)
+        remaining = vehicle.speed * dt
+        # A vehicle may cross more than one intersection in a long step.
+        for _ in range(8):
+            if remaining <= 1e-9:
+                break
+            direction = self._directions[vehicle.vid]
+            distance_to_node = self._distance_to_next_intersection(vehicle.position, direction)
+            if remaining < distance_to_node:
+                vehicle.position = vehicle.position + Vec2(
+                    direction[0] * remaining, direction[1] * remaining
+                )
+                remaining = 0.0
+            else:
+                vehicle.position = vehicle.position + Vec2(
+                    direction[0] * distance_to_node, direction[1] * distance_to_node
+                )
+                remaining -= distance_to_node
+                self._choose_direction(vehicle)
+        direction = self._directions[vehicle.vid]
+        vehicle.heading = math.atan2(direction[1], direction[0])
+        vehicle.route_progress += vehicle.speed * dt
+
+    def _distance_to_next_intersection(
+        self, position: Vec2, direction: Tuple[int, int]
+    ) -> float:
+        block = self.config.block_size_m
+        if direction[0] > 0:
+            coordinate, limit = position.x, self.config.width_m
+        elif direction[0] < 0:
+            coordinate, limit = -position.x, 0.0
+        elif direction[1] > 0:
+            coordinate, limit = position.y, self.config.height_m
+        else:
+            coordinate, limit = -position.y, 0.0
+        del limit
+        # Distance to the next multiple of the block size strictly ahead.
+        offset = coordinate % block
+        distance = block - offset
+        if distance < 1e-9:
+            distance = block
+        return distance
+
+    def _valid_directions(self, position: Vec2) -> List[Tuple[int, int]]:
+        cfg = self.config
+        valid: List[Tuple[int, int]] = []
+        eps = 1e-6
+        for dx, dy in _DIRECTIONS:
+            nx = position.x + dx * eps
+            ny = position.y + dy * eps
+            if -eps <= nx <= cfg.width_m + eps and -eps <= ny <= cfg.height_m + eps:
+                # Vehicles may only travel along streets: movement in x requires
+                # sitting on a horizontal street (y multiple of block) and vice versa.
+                on_horizontal = abs(position.y % cfg.block_size_m) < 1e-6 or abs(
+                    cfg.block_size_m - (position.y % cfg.block_size_m)
+                ) < 1e-6
+                on_vertical = abs(position.x % cfg.block_size_m) < 1e-6 or abs(
+                    cfg.block_size_m - (position.x % cfg.block_size_m)
+                ) < 1e-6
+                if dx != 0 and not on_horizontal:
+                    continue
+                if dy != 0 and not on_vertical:
+                    continue
+                if (dx > 0 and position.x >= cfg.width_m - eps) or (
+                    dx < 0 and position.x <= eps
+                ):
+                    continue
+                if (dy > 0 and position.y >= cfg.height_m - eps) or (
+                    dy < 0 and position.y <= eps
+                ):
+                    continue
+                valid.append((dx, dy))
+        return valid
+
+    def _choose_direction(self, vehicle: VehicleState) -> None:
+        cfg = self.config
+        current = self._directions[vehicle.vid]
+        options = self._valid_directions(vehicle.position)
+        if not options:
+            # Completely boxed in (should not happen on a grid): turn around.
+            self._directions[vehicle.vid] = (-current[0], -current[1])
+            return
+        straight = current if current in options else None
+        reverse = (-current[0], -current[1])
+        turns = [d for d in options if d != straight and d != reverse]
+        draw = self._rng.random()
+        if straight is not None and draw < cfg.p_straight:
+            chosen = straight
+        elif turns and draw < cfg.p_straight + cfg.p_turn:
+            chosen = self._rng.choice(turns)
+        elif turns:
+            chosen = self._rng.choice(turns)
+        elif straight is not None:
+            chosen = straight
+        else:
+            chosen = reverse if reverse in options else self._rng.choice(options)
+        self._directions[vehicle.vid] = chosen

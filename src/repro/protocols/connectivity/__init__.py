@@ -1,0 +1,29 @@
+"""Connectivity-based routing protocols (paper Sec. III).
+
+These protocols use only the connectivity graph: route requests are flooded
+(or data itself is flooded) and paths are whatever the flood discovers.
+They are simple and highly available but pay for it in control overhead and,
+at high density, in the broadcast-storm problem.
+"""
+
+from repro.protocols.connectivity.aodv import AodvConfig, AodvProtocol
+from repro.protocols.connectivity.biswas import BiswasConfig, BiswasProtocol
+from repro.protocols.connectivity.disjli import DisjLiConfig, DisjLiProtocol
+from repro.protocols.connectivity.dsdv import DsdvConfig, DsdvProtocol
+from repro.protocols.connectivity.dsr import DsrConfig, DsrProtocol
+from repro.protocols.connectivity.flooding import FloodingConfig, FloodingProtocol
+
+__all__ = [
+    "AodvConfig",
+    "AodvProtocol",
+    "BiswasConfig",
+    "BiswasProtocol",
+    "DisjLiConfig",
+    "DisjLiProtocol",
+    "DsdvConfig",
+    "DsdvProtocol",
+    "DsrConfig",
+    "DsrProtocol",
+    "FloodingConfig",
+    "FloodingProtocol",
+]

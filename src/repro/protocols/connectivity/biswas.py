@@ -1,0 +1,107 @@
+"""Biswas-style flooding with implicit acknowledgements (paper ref. [9]).
+
+Biswas et al. extend flooding for highway safety messaging: after a vehicle
+rebroadcasts a packet, it listens for the same packet being rebroadcast by a
+vehicle behind it.  Hearing that rebroadcast is an implicit acknowledgement
+that the message keeps propagating; if no rebroadcast is overheard within a
+timeout, the vehicle retransmits, up to a retry limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.taxonomy import Category, register_protocol
+from repro.protocols.base import ProtocolConfig, RoutingProtocol
+from repro.protocols.discovery import DuplicateCache
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.packet import BROADCAST, Packet
+
+
+@dataclass
+class BiswasConfig(ProtocolConfig):
+    """Implicit-acknowledgement flooding parameters.
+
+    Attributes:
+        ack_timeout_s: How long to wait for an overheard rebroadcast.
+        max_retransmissions: Retransmissions before giving up on a packet.
+    """
+
+    ack_timeout_s: float = 0.3
+    max_retransmissions: int = 3
+
+
+@register_protocol(
+    "Biswas",
+    Category.CONNECTIVITY,
+    "Flooding with implicit acknowledgements and periodic retransmission.",
+    paper_reference="[9], Sec. III.B",
+)
+class BiswasProtocol(RoutingProtocol):
+    """Flooding where overheard rebroadcasts act as acknowledgements."""
+
+    def __init__(
+        self,
+        node: Node,
+        network: Network,
+        config: Optional[BiswasConfig] = None,
+    ) -> None:
+        super().__init__(node, network, config if config is not None else BiswasConfig())
+        self._seen = DuplicateCache(lifetime_s=60.0)
+        #: flow_key -> {"packet", "retries", "acked"}
+        self._awaiting_ack: Dict[Tuple, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------- data
+    def route_data(self, packet: Packet) -> None:
+        """Flood the packet and watch for implicit acknowledgements."""
+        if packet.destination == self.node.node_id:
+            self.deliver_locally(packet)
+            return
+        self._seen.seen(packet.flow_key, self.now)
+        self._transmit_with_ack(packet)
+
+    # -------------------------------------------------------------- reception
+    def handle_packet(self, packet: Packet, sender_id: int) -> None:
+        """Deliver / rebroadcast new packets; treat duplicates as implicit ACKs."""
+        if not packet.is_data:
+            return
+        key = packet.flow_key
+        pending = self._awaiting_ack.get(key)
+        if pending is not None:
+            pending["acked"] = True
+        if self._seen.seen(key, self.now):
+            return
+        if packet.destination == self.node.node_id:
+            self.deliver_locally(packet)
+            return
+        if packet.destination == BROADCAST:
+            self.deliver_locally(packet)
+        if packet.ttl <= 1:
+            self.stats.ttl_drop()
+            return
+        self._transmit_with_ack(packet.forwarded())
+
+    # -------------------------------------------------------------- internals
+    def _transmit_with_ack(self, packet: Packet) -> None:
+        key = packet.flow_key
+        self._awaiting_ack[key] = {"packet": packet, "retries": 0, "acked": False}
+        self.broadcast(packet)
+        self.sim.schedule(self.config.ack_timeout_s, self._check_ack, key)
+
+    def _check_ack(self, key: Tuple) -> None:
+        pending = self._awaiting_ack.get(key)
+        if pending is None:
+            return
+        if pending["acked"]:
+            del self._awaiting_ack[key]
+            return
+        retries = int(pending["retries"])
+        if retries >= self.config.max_retransmissions:
+            del self._awaiting_ack[key]
+            return
+        pending["retries"] = retries + 1
+        packet: Packet = pending["packet"]  # type: ignore[assignment]
+        self.broadcast(packet.copy())
+        self.sim.schedule(self.config.ack_timeout_s, self._check_ack, key)

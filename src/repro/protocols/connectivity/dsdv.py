@@ -1,0 +1,146 @@
+"""DSDV: Destination-Sequenced Distance Vector routing (paper ref. [8]).
+
+DSDV is the proactive member of the connectivity category: every node
+periodically broadcasts its full routing table tagged with per-destination
+sequence numbers; loops are avoided by only accepting fresher (or
+equal-freshness, shorter) entries.  Proactivity means routes are immediately
+available but the periodic dumps are pure overhead that grows with network
+size -- one of the overhead mechanisms Table I charges the category with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.taxonomy import Category, register_protocol
+from repro.protocols.base import ProtocolConfig, RoutingProtocol
+from repro.protocols.discovery import RouteEntry, RouteTable
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+
+
+@dataclass
+class DsdvConfig(ProtocolConfig):
+    """DSDV parameters.
+
+    Attributes:
+        update_interval_s: Period of full routing-table broadcasts.
+        route_lifetime_s: Validity of a table entry without refresh.
+        entry_size_bytes: Wire size of one table entry in an update.
+    """
+
+    update_interval_s: float = 2.0
+    route_lifetime_s: float = 8.0
+    entry_size_bytes: int = 12
+    update_base_size_bytes: int = 24
+
+
+@register_protocol(
+    "DSDV",
+    Category.CONNECTIVITY,
+    "Proactive distance-vector routing with destination sequence numbers.",
+    paper_reference="[8], Sec. III.B",
+)
+class DsdvProtocol(RoutingProtocol):
+    """Destination-Sequenced Distance Vector routing."""
+
+    def __init__(
+        self,
+        node: Node,
+        network: Network,
+        config: Optional[DsdvConfig] = None,
+    ) -> None:
+        super().__init__(node, network, config if config is not None else DsdvConfig())
+        self.routes = RouteTable()
+        self._own_sequence = 0
+        self._update_task = None
+
+    # ------------------------------------------------------------------ setup
+    def start(self) -> None:
+        """Start periodic full-table broadcasts."""
+        super().start()
+        self._update_task = self.sim.schedule_periodic(
+            self.config.update_interval_s,
+            self._broadcast_update,
+            start_delay=self.config.update_interval_s * 0.1,
+            jitter=self.config.update_interval_s * 0.25,
+            rng_stream=f"dsdv-update-{self.node.node_id}",
+        )
+
+    def stop(self) -> None:
+        """Stop periodic updates."""
+        super().stop()
+        if self._update_task is not None:
+            self._update_task.cancel()
+            self._update_task = None
+
+    # ------------------------------------------------------------------- data
+    def route_data(self, packet: Packet) -> None:
+        """Forward along the proactive table (drop when no route is known)."""
+        destination = packet.destination
+        if destination == self.node.node_id:
+            self.deliver_locally(packet)
+            return
+        route = self.routes.get(destination, self.now)
+        if route is None:
+            self.stats.no_route_drop()
+            return
+        self.unicast(packet, route.next_hop)
+
+    # -------------------------------------------------------------- reception
+    def handle_packet(self, packet: Packet, sender_id: int) -> None:
+        """Process table updates and forward data."""
+        if packet.ptype == "UPDATE":
+            self._handle_update(packet, sender_id)
+            return
+        if not packet.is_data:
+            return
+        if packet.destination == self.node.node_id:
+            self.deliver_locally(packet)
+            return
+        if packet.ttl <= 1:
+            self.stats.ttl_drop()
+            return
+        route = self.routes.get(packet.destination, self.now)
+        if route is None:
+            self.stats.no_route_drop()
+            return
+        self.unicast(packet.forwarded(), route.next_hop)
+
+    # ---------------------------------------------------------------- updates
+    def _broadcast_update(self) -> None:
+        # Even sequence numbers denote routes advertised by the destination itself.
+        self._own_sequence += 2
+        entries = [
+            {"destination": self.node.node_id, "metric": 0, "sequence": self._own_sequence}
+        ]
+        for entry in self.routes.all_entries():
+            if not entry.is_valid(self.now):
+                continue
+            entries.append(
+                {
+                    "destination": entry.destination,
+                    "metric": entry.hop_count,
+                    "sequence": entry.sequence,
+                }
+            )
+        size = self.config.update_base_size_bytes + self.config.entry_size_bytes * len(entries)
+        update = self.make_control("UPDATE", size_bytes=size, entries=entries)
+        self.broadcast(update)
+
+    def _handle_update(self, packet: Packet, sender_id: int) -> None:
+        for advertised in packet.headers.get("entries", []):
+            destination = advertised["destination"]
+            if destination == self.node.node_id:
+                continue
+            candidate = RouteEntry(
+                destination=destination,
+                next_hop=sender_id,
+                hop_count=advertised["metric"] + 1,
+                expiry=self.now + self.config.route_lifetime_s,
+                sequence=advertised["sequence"],
+                established_at=self.now,
+            )
+            self.routes.update_if_better(candidate, self.now)

@@ -1,0 +1,77 @@
+"""Pure flooding: every node rebroadcasts every packet it has not seen before.
+
+This is the paper's baseline (Sec. III.A): trivially simple, very reliable in
+terms of availability, but each data packet costs on the order of one
+transmission per node -- the broadcast-storm problem [5] once density grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.taxonomy import Category, register_protocol
+from repro.protocols.base import ProtocolConfig, RoutingProtocol
+from repro.protocols.discovery import DuplicateCache
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.packet import BROADCAST, Packet
+
+
+@dataclass
+class FloodingConfig(ProtocolConfig):
+    """Flooding parameters.
+
+    Attributes:
+        rebroadcast_jitter_s: Random delay before a rebroadcast, which
+            desynchronises neighbours and slightly reduces collisions.
+    """
+
+    rebroadcast_jitter_s: float = 0.01
+
+
+@register_protocol(
+    "Flooding",
+    Category.CONNECTIVITY,
+    "Blind flooding of data packets with duplicate suppression.",
+    paper_reference="Sec. III.A",
+)
+class FloodingProtocol(RoutingProtocol):
+    """Blind flooding with per-packet duplicate suppression."""
+
+    def __init__(
+        self,
+        node: Node,
+        network: Network,
+        config: Optional[FloodingConfig] = None,
+    ) -> None:
+        super().__init__(node, network, config if config is not None else FloodingConfig())
+        self._seen = DuplicateCache(lifetime_s=60.0)
+
+    # ------------------------------------------------------------------ data
+    def route_data(self, packet: Packet) -> None:
+        """Originate a data packet by flooding it."""
+        if packet.destination == self.node.node_id:
+            self.deliver_locally(packet)
+            return
+        self._seen.seen(packet.flow_key, self.now)
+        self.broadcast(packet)
+
+    # -------------------------------------------------------------- reception
+    def handle_packet(self, packet: Packet, sender_id: int) -> None:
+        """Deliver packets addressed to us and rebroadcast everything new."""
+        if not packet.is_data:
+            return
+        if self._seen.seen(packet.flow_key, self.now):
+            return
+        if packet.destination == self.node.node_id:
+            self.deliver_locally(packet)
+            return
+        if packet.destination == BROADCAST:
+            self.deliver_locally(packet)
+        if packet.ttl <= 1:
+            self.stats.ttl_drop()
+            return
+        forwarded = packet.forwarded()
+        jitter = self.rng.uniform(0.0, self.config.rebroadcast_jitter_s)
+        self.sim.schedule(jitter, self.broadcast, forwarded)

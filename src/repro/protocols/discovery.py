@@ -1,0 +1,172 @@
+"""Shared machinery for on-demand route discovery.
+
+AODV, DSR and all the mobility/probability protocols that do on-demand
+discovery need the same three pieces of bookkeeping: a duplicate cache for
+flooded request identifiers, a table of discovered routes, and a buffer of
+data packets waiting for a route.  Implementing them once keeps the protocol
+classes focused on their actual routing metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.sim.packet import Packet
+
+
+class DuplicateCache:
+    """Remember identifiers (e.g. ``(origin, rreq_id)``) with time-based expiry."""
+
+    def __init__(self, lifetime_s: float = 30.0, max_entries: int = 4096) -> None:
+        self.lifetime_s = lifetime_s
+        self.max_entries = max_entries
+        self._entries: Dict[Hashable, float] = {}
+
+    def seen(self, key: Hashable, now: float) -> bool:
+        """True when ``key`` was recorded less than ``lifetime_s`` ago.
+
+        The key is recorded as seen either way, so the typical usage is a
+        single ``if cache.seen(key, now): return`` guard.
+        """
+        expiry = self._entries.get(key)
+        already = expiry is not None and expiry > now
+        self._entries[key] = now + self.lifetime_s
+        if len(self._entries) > self.max_entries:
+            self._evict(now)
+        return already
+
+    def _evict(self, now: float) -> None:
+        live = {key: expiry for key, expiry in self._entries.items() if expiry > now}
+        if len(live) > self.max_entries:
+            # Keep the newest half when even live entries overflow.
+            ordered = sorted(live.items(), key=lambda item: item[1], reverse=True)
+            live = dict(ordered[: self.max_entries // 2])
+        self._entries = live
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class RouteEntry:
+    """One route in a routing table."""
+
+    destination: int
+    next_hop: int
+    hop_count: int
+    expiry: float
+    sequence: int = 0
+    metric: float = 0.0
+    path: List[int] = field(default_factory=list)
+    established_at: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def is_valid(self, now: float) -> bool:
+        """True while the route has not expired."""
+        return now < self.expiry
+
+
+class RouteTable:
+    """Destination-indexed routing table with expiry."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[int, RouteEntry] = {}
+
+    def get(self, destination: int, now: float) -> Optional[RouteEntry]:
+        """Valid route toward ``destination``, or None."""
+        entry = self._routes.get(destination)
+        if entry is None or not entry.is_valid(now):
+            return None
+        return entry
+
+    def put(self, entry: RouteEntry) -> None:
+        """Insert or replace the route toward ``entry.destination``."""
+        self._routes[entry.destination] = entry
+
+    def update_if_better(self, entry: RouteEntry, now: float) -> bool:
+        """Install ``entry`` if it is fresher or better than the current route.
+
+        "Better" means: newer sequence number, or equal sequence number with a
+        smaller hop count; an expired current route is always replaced.
+        """
+        current = self._routes.get(entry.destination)
+        if current is None or not current.is_valid(now):
+            self._routes[entry.destination] = entry
+            return True
+        if entry.sequence > current.sequence:
+            self._routes[entry.destination] = entry
+            return True
+        if entry.sequence == current.sequence and entry.hop_count < current.hop_count:
+            self._routes[entry.destination] = entry
+            return True
+        return False
+
+    def invalidate(self, destination: int) -> None:
+        """Remove the route toward ``destination``."""
+        self._routes.pop(destination, None)
+
+    def invalidate_via(self, next_hop: int) -> List[int]:
+        """Remove every route that uses ``next_hop``; returns affected destinations."""
+        affected = [
+            destination
+            for destination, entry in self._routes.items()
+            if entry.next_hop == next_hop
+        ]
+        for destination in affected:
+            del self._routes[destination]
+        return affected
+
+    def destinations(self, now: float) -> List[int]:
+        """Destinations with currently valid routes."""
+        return [d for d, entry in self._routes.items() if entry.is_valid(now)]
+
+    def all_entries(self) -> List[RouteEntry]:
+        """Every entry, valid or not (used by proactive protocols)."""
+        return list(self._routes.values())
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+
+class PendingPacketBuffer:
+    """Data packets waiting for a route, grouped by destination."""
+
+    def __init__(self, capacity_per_destination: int = 16, max_age_s: float = 10.0) -> None:
+        self.capacity_per_destination = capacity_per_destination
+        self.max_age_s = max_age_s
+        self._buffers: Dict[int, List[Tuple[float, Packet]]] = {}
+
+    def add(self, packet: Packet, now: float) -> bool:
+        """Buffer a packet; returns False (drop) when the buffer is full."""
+        queue = self._buffers.setdefault(packet.destination, [])
+        self._expire(queue, now)
+        if len(queue) >= self.capacity_per_destination:
+            return False
+        queue.append((now, packet))
+        return True
+
+    def pop_all(self, destination: int, now: float) -> List[Packet]:
+        """Remove and return all non-expired packets buffered for ``destination``."""
+        queue = self._buffers.pop(destination, [])
+        self._expire(queue, now)
+        return [packet for _, packet in queue]
+
+    def pending_destinations(self) -> List[int]:
+        """Destinations that currently have buffered packets."""
+        return [destination for destination, queue in self._buffers.items() if queue]
+
+    def has_pending(self, destination: int) -> bool:
+        """True when packets are buffered for ``destination``."""
+        return bool(self._buffers.get(destination))
+
+    def drop_all(self, destination: int) -> int:
+        """Discard everything buffered for ``destination``; returns the count."""
+        queue = self._buffers.pop(destination, [])
+        return len(queue)
+
+    def _expire(self, queue: List[Tuple[float, Packet]], now: float) -> None:
+        queue[:] = [(t, p) for t, p in queue if now - t <= self.max_age_s]
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._buffers.values())

@@ -1,0 +1,24 @@
+"""Geographic-location-based routing protocols (paper Sec. VI).
+
+Positions (from GPS plus a location service) drive forwarding decisions: no
+route discovery phase is needed, packets simply move toward the destination
+(greedy), stay within a geographic corridor (zone), or hop between per-cell
+gateways (grid / cluster gateways).  The cost is beacon overhead and
+sub-optimal paths, since relative mobility is ignored.
+"""
+
+from repro.protocols.geographic.greedy import GreedyConfig, GreedyProtocol
+from repro.protocols.geographic.grid_gateway import GridGatewayConfig, GridGatewayProtocol
+from repro.protocols.geographic.rover import RoverConfig, RoverProtocol
+from repro.protocols.geographic.zone import ZoneConfig, ZoneProtocol
+
+__all__ = [
+    "GreedyConfig",
+    "GreedyProtocol",
+    "GridGatewayConfig",
+    "GridGatewayProtocol",
+    "RoverConfig",
+    "RoverProtocol",
+    "ZoneConfig",
+    "ZoneProtocol",
+]

@@ -1,0 +1,18 @@
+"""Infrastructure-based routing protocols (paper Sec. V).
+
+Fixed road-side units (RSUs) connected by a wired backbone relay and buffer
+packets when vehicle-to-vehicle paths are missing; buses on regular routes
+act as message ferries.  These protocols are the most reliable where the
+infrastructure exists and useless where it does not (the paper's "not working
+in rural area" column of Table I).
+"""
+
+from repro.protocols.infrastructure.bus_ferry import BusFerryConfig, BusFerryProtocol
+from repro.protocols.infrastructure.rsu_relay import RsuRelayConfig, RsuRelayProtocol
+
+__all__ = [
+    "BusFerryConfig",
+    "BusFerryProtocol",
+    "RsuRelayConfig",
+    "RsuRelayProtocol",
+]

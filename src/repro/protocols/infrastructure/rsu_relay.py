@@ -1,0 +1,266 @@
+"""RSU relay routing in the style of DRR (He et al., paper ref. [17]).
+
+Road-side units act as *virtual equivalent nodes*: when the vehicular path is
+broken, an RSU (or a chain of RSUs over the wired backbone) stands in for the
+missing relay.  Vehicles register with the RSU that can hear them; the
+registration is synchronised over the backbone so any RSU can route a packet
+to the RSU currently serving the destination, which buffers it until the
+destination comes within range.
+
+The same protocol class runs on vehicles and on RSUs; behaviour dispatches on
+the node kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.taxonomy import Category, register_protocol
+from repro.protocols.base import ProtocolConfig, RoutingProtocol
+from repro.protocols.discovery import DuplicateCache
+from repro.protocols.location import LocationService
+from repro.protocols.neighbors import BeaconService, NeighborEntry
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+
+
+@dataclass
+class RsuRelayConfig(ProtocolConfig):
+    """RSU relay parameters.
+
+    Attributes:
+        registration_lifetime_s: How long a vehicle registration stays valid.
+        rsu_buffer_timeout_s: How long an RSU buffers a packet for an absent
+            destination before dropping it.
+        rsu_buffer_capacity: Per-RSU buffered-packet cap.
+        greedy_fallback: Whether vehicles without an RSU in range forward
+            greedily toward the destination over other vehicles (the rural
+            fallback); disabling it isolates the pure-infrastructure path.
+    """
+
+    registration_lifetime_s: float = 6.0
+    rsu_buffer_timeout_s: float = 20.0
+    rsu_buffer_capacity: int = 256
+    greedy_fallback: bool = True
+    register_size_bytes: int = 24
+
+
+@register_protocol(
+    "RSU-Relay",
+    Category.INFRASTRUCTURE,
+    "DRR-style relay: RSUs registered over a wired backbone act as virtual equivalent "
+    "nodes that relay and buffer packets.",
+    paper_reference="[17], Sec. V",
+)
+class RsuRelayProtocol(RoutingProtocol):
+    """Infrastructure relay routing over RSUs and their backbone."""
+
+    def __init__(
+        self,
+        node: Node,
+        network: Network,
+        config: Optional[RsuRelayConfig] = None,
+        location_service: Optional[LocationService] = None,
+    ) -> None:
+        super().__init__(node, network, config if config is not None else RsuRelayConfig())
+        self.location = (
+            location_service if location_service is not None else LocationService(network)
+        )
+        self.beacons = BeaconService(
+            self,
+            interval_s=self.config.hello_interval_s,
+            timeout_s=self.config.neighbor_timeout_s,
+        )
+        #: RSU-side: vehicle id -> (serving RSU id, registration time).
+        self.registry: Dict[int, Tuple[int, float]] = {}
+        #: RSU-side: buffered packets waiting for their destination.
+        self._buffer: List[Tuple[float, Packet]] = []
+        self._seen = DuplicateCache(lifetime_s=30.0)
+
+    # ------------------------------------------------------------------ setup
+    def start(self) -> None:
+        """Start beaconing (both vehicles and RSUs beacon)."""
+        super().start()
+        self.beacons.start()
+
+    def stop(self) -> None:
+        """Stop beaconing."""
+        super().stop()
+        self.beacons.stop()
+
+    # ------------------------------------------------------------------- data
+    def route_data(self, packet: Packet) -> None:
+        """Vehicle/RSU entry point for originating or relaying a data packet."""
+        if packet.destination == self.node.node_id:
+            self.deliver_locally(packet)
+            return
+        if self.node.is_infrastructure:
+            self._rsu_route(packet)
+        else:
+            self._vehicle_route(packet)
+
+    # -------------------------------------------------------------- reception
+    def handle_packet(self, packet: Packet, sender_id: int) -> None:
+        """Handle beacons, registrations and data received over the air."""
+        if packet.ptype == "HELLO":
+            entry = self.beacons.handle_beacon(packet, sender_id)
+            if self.node.is_infrastructure and not entry.is_rsu:
+                self._register_vehicle(entry)
+                self._flush_buffer_for(sender_id)
+            return
+        if not packet.is_data:
+            return
+        if packet.destination == self.node.node_id:
+            self.deliver_locally(packet)
+            return
+        if self._seen.seen((packet.flow_key, self.node.node_id), self.now):
+            return
+        if packet.ttl <= 1:
+            self.stats.ttl_drop()
+            return
+        self.route_data(packet.forwarded())
+
+    def handle_backbone_packet(self, packet: Packet, sender_id: int) -> None:
+        """Handle registrations and data arriving over the wired backbone."""
+        if packet.ptype == "REGISTER":
+            vehicle = packet.headers["vehicle"]
+            serving_rsu = packet.headers["serving_rsu"]
+            self.registry[vehicle] = (serving_rsu, self.now)
+            return
+        if packet.is_data:
+            if packet.destination == self.node.node_id:
+                self.deliver_locally(packet)
+                return
+            self._rsu_route(packet, arrived_via_backbone=True)
+
+    # ---------------------------------------------------------- vehicle side
+    def _vehicle_route(self, packet: Packet) -> None:
+        cfg: RsuRelayConfig = self.config  # type: ignore[assignment]
+        neighbors = self.beacons.neighbors()
+        by_id = {entry.node_id: entry for entry in neighbors}
+        if packet.destination in by_id:
+            self.unicast(packet, packet.destination)
+            return
+        # DRR's virtual equivalent node steps in when the vehicular path is
+        # broken: try normal vehicle-to-vehicle progress first, and hand the
+        # packet to an RSU only when no neighbour advances it (or when the
+        # vehicular fallback is disabled entirely).
+        next_hop = (
+            self._greedy_next_hop(packet.destination, neighbors)
+            if cfg.greedy_fallback
+            else None
+        )
+        if next_hop is not None:
+            self.unicast(packet, next_hop)
+            return
+        rsus = [entry for entry in neighbors if entry.is_rsu]
+        if rsus:
+            nearest = min(rsus, key=lambda e: self.node.position.distance_to(e.position))
+            self.unicast(packet, nearest.node_id)
+            return
+        self.stats.no_route_drop()
+
+    def _greedy_next_hop(
+        self, destination: int, neighbors: List[NeighborEntry]
+    ) -> Optional[int]:
+        destination_position = self.location.position_of(destination)
+        if destination_position is None:
+            return None
+        own_distance = self.node.position.distance_to(destination_position)
+        best_id: Optional[int] = None
+        best_distance = own_distance
+        for entry in neighbors:
+            predicted = entry.predicted_position(self.now)
+            if self.node.position.distance_to(predicted) > 230.0:
+                continue
+            distance = predicted.distance_to(destination_position)
+            if distance < best_distance:
+                best_distance = distance
+                best_id = entry.node_id
+        return best_id
+
+    # -------------------------------------------------------------- RSU side
+    def _register_vehicle(self, entry: NeighborEntry) -> None:
+        cfg: RsuRelayConfig = self.config  # type: ignore[assignment]
+        current = self.registry.get(entry.node_id)
+        if current is not None:
+            serving_rsu, registered_at = current
+            age = self.now - registered_at
+            if serving_rsu == self.node.node_id and age < cfg.registration_lifetime_s / 2.0:
+                # Our own registration is still fresh: nothing to announce.
+                return
+            if serving_rsu != self.node.node_id and age < cfg.registration_lifetime_s:
+                # Another RSU's registration is still valid.  Claiming the
+                # vehicle on every beacon would ping-pong the registration
+                # (and flood the backbone) whenever coverage areas overlap,
+                # so take over only once the existing entry has gone stale.
+                return
+        self.registry[entry.node_id] = (self.node.node_id, self.now)
+        announcement = self.make_control(
+            "REGISTER",
+            size_bytes=cfg.register_size_bytes,
+            vehicle=entry.node_id,
+            serving_rsu=self.node.node_id,
+        )
+        for rsu in self.network.rsus:
+            if rsu.node_id != self.node.node_id:
+                self.network.backbone_send(self.node, rsu, announcement)
+
+    def _rsu_route(self, packet: Packet, arrived_via_backbone: bool = False) -> None:
+        cfg: RsuRelayConfig = self.config  # type: ignore[assignment]
+        destination = packet.destination
+        if self.beacons.table.contains(destination, self.now):
+            self.unicast(packet, destination)
+            return
+        registration = self.registry.get(destination)
+        if (
+            registration is not None
+            and self.now - registration[1] <= cfg.registration_lifetime_s
+            and registration[0] != self.node.node_id
+            and not arrived_via_backbone
+        ):
+            serving_rsu_id = registration[0]
+            if self.network.has_node(serving_rsu_id):
+                self.network.backbone_send(
+                    self.node, self.network.node(serving_rsu_id), packet
+                )
+                return
+        if not arrived_via_backbone and self.network.rsus and registration is None:
+            # Unknown destination: hand a copy to every other RSU, each of
+            # which buffers it until the destination shows up (DRR's virtual
+            # equivalent node standing in for the missing path).
+            self.network.backbone_broadcast(self.node, packet)
+        self._buffer_packet(packet)
+
+    def _buffer_packet(self, packet: Packet) -> None:
+        cfg: RsuRelayConfig = self.config  # type: ignore[assignment]
+        self._expire_buffer()
+        if len(self._buffer) >= cfg.rsu_buffer_capacity:
+            self.stats.buffer_drop()
+            return
+        self.stats.store_carry()
+        self._buffer.append((self.now, packet))
+
+    def _flush_buffer_for(self, vehicle_id: int) -> None:
+        self._expire_buffer()
+        remaining: List[Tuple[float, Packet]] = []
+        for buffered_at, packet in self._buffer:
+            if packet.destination == vehicle_id:
+                self.unicast(packet, vehicle_id)
+            else:
+                remaining.append((buffered_at, packet))
+        self._buffer = remaining
+
+    def _expire_buffer(self) -> None:
+        cfg: RsuRelayConfig = self.config  # type: ignore[assignment]
+        fresh = [
+            (buffered_at, packet)
+            for buffered_at, packet in self._buffer
+            if self.now - buffered_at <= cfg.rsu_buffer_timeout_s
+        ]
+        dropped = len(self._buffer) - len(fresh)
+        for _ in range(dropped):
+            self.stats.buffer_drop()
+        self._buffer = fresh

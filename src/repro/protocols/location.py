@@ -1,0 +1,68 @@
+"""Idealised location service.
+
+Geographic routing protocols (Sec. VI) assume each vehicle knows its own GPS
+position and can learn the *destination's* position through some location
+service (the surveyed papers either assume it or use a grid-based location
+service as in CarNet/GLS).  Re-implementing a full distributed location
+service is out of scope for the survey's comparison, so the reproduction uses
+an oracle backed by the simulation state, optionally with Gaussian error and
+staleness to model imperfect GPS / stale location replies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.geometry import Vec2
+from repro.sim.network import Network
+
+
+class LocationService:
+    """Oracle returning (optionally noisy, stale) node positions."""
+
+    def __init__(
+        self,
+        network: Network,
+        position_error_std_m: float = 0.0,
+        staleness_s: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.network = network
+        self.position_error_std_m = position_error_std_m
+        self.staleness_s = staleness_s
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def position_of(self, node_id: int) -> Optional[Vec2]:
+        """Best-known position of ``node_id`` (None when the node is unknown).
+
+        Staleness is modelled by rewinding the node along its current
+        velocity by ``staleness_s`` seconds; measurement error by adding
+        isotropic Gaussian noise.
+        """
+        if not self.network.has_node(node_id):
+            return None
+        node = self.network.node(node_id)
+        position = node.position
+        if self.staleness_s > 0:
+            position = position - node.velocity * self.staleness_s
+        if self.position_error_std_m > 0:
+            position = Vec2(
+                position.x + self._rng.gauss(0.0, self.position_error_std_m),
+                position.y + self._rng.gauss(0.0, self.position_error_std_m),
+            )
+        return position
+
+    def velocity_of(self, node_id: int) -> Optional[Vec2]:
+        """Current velocity of ``node_id`` (None when unknown)."""
+        if not self.network.has_node(node_id):
+            return None
+        return self.network.node(node_id).velocity
+
+    def distance_between(self, a: int, b: int) -> Optional[float]:
+        """Distance between two nodes according to the service."""
+        pos_a = self.position_of(a)
+        pos_b = self.position_of(b)
+        if pos_a is None or pos_b is None:
+            return None
+        return pos_a.distance_to(pos_b)

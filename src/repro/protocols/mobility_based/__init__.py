@@ -1,0 +1,30 @@
+"""Mobility-based routing protocols (paper Sec. IV).
+
+These protocols use relative mobility -- predicted link lifetime, travel
+direction, speed -- as the routing metric, so that established paths avoid
+links that are about to break.  The cost is neighbour-awareness overhead
+(periodic beacons, kinematic fields in control packets), and the predictions
+degrade in sparse or congested traffic.
+"""
+
+from repro.protocols.mobility_based.abedi import AbediConfig, AbediProtocol
+from repro.protocols.mobility_based.lifetime_routing import (
+    PathDiscoveryConfig,
+    PathMetricDiscoveryProtocol,
+)
+from repro.protocols.mobility_based.pbr import PbrConfig, PbrProtocol
+from repro.protocols.mobility_based.taleb import TalebConfig, TalebProtocol
+from repro.protocols.mobility_based.wedde import WeddeConfig, WeddeProtocol
+
+__all__ = [
+    "AbediConfig",
+    "AbediProtocol",
+    "PathDiscoveryConfig",
+    "PathMetricDiscoveryProtocol",
+    "PbrConfig",
+    "PbrProtocol",
+    "TalebConfig",
+    "TalebProtocol",
+    "WeddeConfig",
+    "WeddeProtocol",
+]

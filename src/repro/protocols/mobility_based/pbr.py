@@ -1,0 +1,77 @@
+"""PBR: Prediction-Based Routing (Namboodiri & Gao, paper ref. [13]).
+
+PBR predicts the lifetime of each link crossed during route discovery from
+the vehicles' positions and velocities, selects the route with the largest
+predicted lifetime (the path lifetime being the minimum over its links,
+Sec. IV.A.1), and preemptively rebuilds the route before that lifetime
+expires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.link_lifetime import LinkLifetimePredictor
+from repro.core.taxonomy import Category, register_protocol
+from repro.geometry import Vec2
+from repro.protocols.mobility_based.lifetime_routing import (
+    PathDiscoveryConfig,
+    PathMetricDiscoveryProtocol,
+)
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+@dataclass
+class PbrConfig(PathDiscoveryConfig):
+    """PBR parameters.
+
+    Attributes:
+        communication_range_m: Range used by the link-lifetime prediction.
+        min_acceptable_lifetime_s: Links predicted to live less than this are
+            rated 0 so the destination avoids them when alternatives exist.
+    """
+
+    communication_range_m: float = 250.0
+    min_acceptable_lifetime_s: float = 1.0
+
+
+@register_protocol(
+    "PBR",
+    Category.MOBILITY,
+    "Prediction-based routing: choose the path with the largest predicted lifetime "
+    "and rebuild it preemptively before it expires.",
+    paper_reference="[13], Sec. IV.B",
+)
+class PbrProtocol(PathMetricDiscoveryProtocol):
+    """Prediction-Based Routing."""
+
+    def __init__(
+        self,
+        node: Node,
+        network: Network,
+        config: Optional[PbrConfig] = None,
+    ) -> None:
+        super().__init__(node, network, config if config is not None else PbrConfig())
+        self.predictor = LinkLifetimePredictor(self.config.communication_range_m)
+
+    def link_metric(
+        self,
+        previous_position: Vec2,
+        previous_velocity: Vec2,
+        own_position: Vec2,
+        own_velocity: Vec2,
+        headers: dict,
+    ) -> float:
+        """Predicted lifetime of the link the request just crossed."""
+        lifetime = self.predictor.predict_from_snapshot(
+            previous_position, previous_velocity, own_position, own_velocity
+        )
+        if lifetime < self.config.min_acceptable_lifetime_s:
+            return 0.0
+        return lifetime
+
+    def path_score(self, metric: float, path: List[int]) -> float:
+        """Rank candidate paths by predicted lifetime, breaking ties by hop count."""
+        return metric - 1e-3 * len(path)

@@ -1,0 +1,101 @@
+"""Taleb-style velocity-group routing (paper ref. [14], also [12]).
+
+Taleb et al. group vehicles into four classes by their velocity vector and
+prefer routes whose links connect vehicles of the same group: links between
+same-direction vehicles "stay longer than the link between two vehicles with
+different speed directions".  Route discovery is a flood in which nodes of a
+different group only participate reluctantly, and the destination picks the
+most stable (largest minimum-lifetime) path.  A new discovery is initiated
+before the shortest link duration of the selected path elapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.direction import direction_group
+from repro.core.link_lifetime import LinkLifetimePredictor
+from repro.core.taxonomy import Category, register_protocol
+from repro.geometry import Vec2
+from repro.protocols.mobility_based.lifetime_routing import (
+    PathDiscoveryConfig,
+    PathMetricDiscoveryProtocol,
+)
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+@dataclass
+class TalebConfig(PathDiscoveryConfig):
+    """Taleb parameters.
+
+    Attributes:
+        communication_range_m: Range used by the link-lifetime prediction.
+        different_group_forward_probability: Probability that a node whose
+            velocity group differs from the request origin's still forwards
+            the request (a pure filter would disconnect cross-traffic
+            destinations entirely).
+        same_group_bonus: Multiplier applied to the lifetime of links whose
+            endpoints share a velocity group when ranking candidate paths.
+    """
+
+    communication_range_m: float = 250.0
+    different_group_forward_probability: float = 0.25
+    same_group_bonus: float = 1.5
+
+
+@register_protocol(
+    "Taleb",
+    Category.MOBILITY,
+    "Velocity-vector grouping: prefer routes whose links join same-direction vehicles.",
+    paper_reference="[14], Sec. IV.B",
+)
+class TalebProtocol(PathMetricDiscoveryProtocol):
+    """Velocity-group based stable routing."""
+
+    def __init__(
+        self,
+        node: Node,
+        network: Network,
+        config: Optional[TalebConfig] = None,
+    ) -> None:
+        super().__init__(node, network, config if config is not None else TalebConfig())
+        self.predictor = LinkLifetimePredictor(self.config.communication_range_m)
+
+    def _own_group_tag(self) -> str:
+        """This node's velocity group, carried in the request it originates."""
+        return direction_group(self.node.velocity).value
+
+    def should_forward_request(self, headers: dict, sender_id: int) -> bool:
+        """Same-group nodes always forward; others forward with low probability."""
+        origin_group = headers.get("origin_group", "")
+        own_group = direction_group(self.node.velocity).value
+        if not origin_group or origin_group == own_group:
+            return True
+        return self.rng.random() < self.config.different_group_forward_probability
+
+    def link_metric(
+        self,
+        previous_position: Vec2,
+        previous_velocity: Vec2,
+        own_position: Vec2,
+        own_velocity: Vec2,
+        headers: dict,
+    ) -> float:
+        """Predicted link lifetime, boosted when both endpoints share a group."""
+        lifetime = self.predictor.predict_from_snapshot(
+            previous_position, previous_velocity, own_position, own_velocity
+        )
+        same_group = direction_group(previous_velocity) == direction_group(own_velocity)
+        if same_group:
+            return lifetime * self.config.same_group_bonus
+        return lifetime
+
+    def path_score(self, metric: float, path: List[int]) -> float:
+        """Most stable path wins; shorter paths break ties."""
+        return metric - 1e-3 * len(path)
+
+    def _route_lifetime_from_metric(self, metric: float) -> float:
+        """Undo the same-group bonus so the trusted lifetime stays conservative."""
+        return super()._route_lifetime_from_metric(metric / self.config.same_group_bonus)

@@ -1,0 +1,34 @@
+"""Probability-model-based routing protocols (paper Sec. VII).
+
+A probability model of the wireless link (its existence, its residual
+duration, or the receipt probability of a frame) is the routing metric.
+Links are probed *selectively* rather than flooded, which makes these
+protocols efficient -- but the model is calibrated for particular traffic
+conditions and degrades when reality deviates from it (Table I: "only
+working for a certain traffic").
+"""
+
+from repro.protocols.probability.car import CarConfig, CarProtocol
+from repro.protocols.probability.gvgrid import GvGridConfig, GvGridProtocol
+from repro.protocols.probability.niude import NiuDeConfig, NiuDeProtocol
+from repro.protocols.probability.rear import RearConfig, RearProtocol
+from repro.protocols.probability.scored_forwarding import (
+    ScoredForwardingConfig,
+    ScoredForwardingProtocol,
+)
+from repro.protocols.probability.yan_tbp import YanTbpConfig, YanTbpProtocol
+
+__all__ = [
+    "CarConfig",
+    "CarProtocol",
+    "GvGridConfig",
+    "GvGridProtocol",
+    "NiuDeConfig",
+    "NiuDeProtocol",
+    "RearConfig",
+    "RearProtocol",
+    "ScoredForwardingConfig",
+    "ScoredForwardingProtocol",
+    "YanTbpConfig",
+    "YanTbpProtocol",
+]

@@ -1,0 +1,126 @@
+"""NiuDe (DeReQ): QoS routing on link reliability and delay (paper ref. [16]).
+
+Niu et al. "dynamically create and maintain a robust route to provide QoS for
+multimedia applications over VANET.  The protocol relies on two routing
+parameters: reliability and delay."  The reliability of a link is the
+probability that it is still active after a prediction horizon (the link
+availability function of [31][32], implemented in
+:mod:`repro.core.stability`); the reliability of a path is the product over
+its links; and among the paths meeting the delay requirement the most
+reliable one is selected.  The route is rebuilt proactively before its
+predicted reliability runs out.
+
+The implementation reuses the metric-accumulating discovery skeleton: the
+request accumulates the product of per-link availabilities and the hop count
+(the delay proxy); the destination discards candidates whose estimated delay
+exceeds the budget and answers the most reliable remaining path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.stability import LinkStabilityModel
+from repro.core.taxonomy import Category, register_protocol
+from repro.geometry import Vec2
+from repro.protocols.mobility_based.lifetime_routing import (
+    PathDiscoveryConfig,
+    PathMetricDiscoveryProtocol,
+)
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+@dataclass
+class NiuDeConfig(PathDiscoveryConfig):
+    """DeReQ parameters.
+
+    Attributes:
+        qos_horizon_s: Prediction horizon of the link-availability model (the
+            route should survive roughly this long, e.g. one multimedia burst).
+        max_delay_s: End-to-end delay budget of the multimedia flow.
+        per_hop_delay_s: Estimated forwarding delay per hop (queueing + MAC),
+            used to turn the hop count into a delay estimate at the destination.
+        communication_range_m: Radio range assumed by the availability model.
+        relative_speed_std_mps: Calibrated relative-speed spread.
+    """
+
+    qos_horizon_s: float = 5.0
+    max_delay_s: float = 0.5
+    per_hop_delay_s: float = 0.02
+    communication_range_m: float = 250.0
+    relative_speed_std_mps: float = 2.0
+
+
+@register_protocol(
+    "NiuDe",
+    Category.PROBABILITY,
+    "DeReQ-style QoS routing: the most reliable path (product of link availabilities) "
+    "that meets the delay requirement, rebuilt before it degrades.",
+    paper_reference="[16], Sec. IV.B / VII.B",
+)
+class NiuDeProtocol(PathMetricDiscoveryProtocol):
+    """Reliability- and delay-aware QoS routing."""
+
+    def __init__(
+        self,
+        node: Node,
+        network: Network,
+        config: Optional[NiuDeConfig] = None,
+    ) -> None:
+        super().__init__(node, network, config if config is not None else NiuDeConfig())
+        cfg: NiuDeConfig = self.config  # type: ignore[assignment]
+        self.stability = LinkStabilityModel(
+            communication_range=cfg.communication_range_m,
+            relative_speed_std=cfg.relative_speed_std_mps,
+        )
+
+    # -------------------------------------------------------------- the metric
+    def initial_metric(self) -> float:
+        """Path reliability starts at 1 (empty product)."""
+        return 1.0
+
+    def accumulate_metric(self, so_far: float, link_value: float) -> float:
+        """Path reliability is the product of link availabilities."""
+        return so_far * link_value
+
+    def link_metric(
+        self,
+        previous_position: Vec2,
+        previous_velocity: Vec2,
+        own_position: Vec2,
+        own_velocity: Vec2,
+        headers: dict,
+    ) -> float:
+        """Availability of the crossed link over the QoS horizon."""
+        cfg: NiuDeConfig = self.config  # type: ignore[assignment]
+        return self.stability.availability(
+            previous_position,
+            previous_velocity,
+            own_position,
+            own_velocity,
+            cfg.qos_horizon_s,
+        )
+
+    def path_score(self, metric: float, path: List[int]) -> float:
+        """Most reliable path that meets the delay budget wins.
+
+        Paths whose estimated delay exceeds the budget are heavily penalised
+        so they are only used when no compliant path was discovered at all.
+        """
+        cfg: NiuDeConfig = self.config  # type: ignore[assignment]
+        estimated_delay = (len(path) - 1) * cfg.per_hop_delay_s
+        penalty = 0.0 if estimated_delay <= cfg.max_delay_s else 1000.0
+        return metric - penalty - 1e-4 * len(path)
+
+    def _route_lifetime_from_metric(self, metric: float) -> float:
+        """Trust the route for a fraction of the horizon equal to its reliability."""
+        cfg: NiuDeConfig = self.config  # type: ignore[assignment]
+        reliability = max(0.0, min(1.0, metric))
+        return max(0.5, cfg.qos_horizon_s * reliability)
+
+    def estimated_path_delay(self, path: List[int]) -> float:
+        """Delay estimate the destination applies to a candidate path."""
+        cfg: NiuDeConfig = self.config  # type: ignore[assignment]
+        return (len(path) - 1) * cfg.per_hop_delay_s

@@ -1,0 +1,46 @@
+"""Wireless channel models: propagation, reception, interference and MAC.
+
+The paper repeatedly appeals to two physical facts about DSRC radios:
+
+* communication range is short (FCC-mandated power limits, Sec. I), and
+* the received signal is random -- "normally or log-normally distributed"
+  (Sec. VII.A) -- so links exist only probabilistically.
+
+This package supplies those facts to the simulator: deterministic and
+shadowed propagation models, an SNR-based reception decision, additive
+interference, and a CSMA/CA-flavoured MAC with carrier sensing, random
+backoff and collisions (the mechanism behind the broadcast-storm problem).
+"""
+
+from repro.radio.interference import combine_dbm, dbm_to_mw, mw_to_dbm
+from repro.radio.mac import CsmaCaMac, MacConfig
+from repro.radio.propagation import (
+    FreeSpacePropagation,
+    LogNormalShadowing,
+    PropagationModel,
+    TwoRayGroundPropagation,
+    UnitDiskPropagation,
+)
+from repro.radio.reception import (
+    ProbabilisticReception,
+    ReceptionDecision,
+    ReceptionModel,
+    SnrThresholdReception,
+)
+
+__all__ = [
+    "combine_dbm",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "CsmaCaMac",
+    "MacConfig",
+    "PropagationModel",
+    "FreeSpacePropagation",
+    "TwoRayGroundPropagation",
+    "LogNormalShadowing",
+    "UnitDiskPropagation",
+    "ReceptionModel",
+    "ReceptionDecision",
+    "SnrThresholdReception",
+    "ProbabilisticReception",
+]

@@ -1,0 +1,37 @@
+"""Power-unit helpers and interference combination.
+
+Received powers are expressed in dBm throughout the radio package; summing
+interference contributions requires a round trip through milliwatts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+#: Received power used to represent "no signal at all" (effectively -inf dBm).
+NO_SIGNAL_DBM = -1000.0
+
+
+def dbm_to_mw(power_dbm: float) -> float:
+    """Convert a power from dBm to milliwatts."""
+    if power_dbm <= NO_SIGNAL_DBM:
+        return 0.0
+    return 10.0 ** (power_dbm / 10.0)
+
+
+def mw_to_dbm(power_mw: float) -> float:
+    """Convert a power from milliwatts to dBm (zero maps to ``NO_SIGNAL_DBM``)."""
+    if power_mw <= 0.0:
+        return NO_SIGNAL_DBM
+    return 10.0 * math.log10(power_mw)
+
+
+def combine_dbm(powers_dbm: Iterable[float]) -> float:
+    """Sum several received powers expressed in dBm.
+
+    Interference from concurrent transmissions is additive in linear units,
+    so the values are converted to mW, summed, and converted back.
+    """
+    total_mw = sum(dbm_to_mw(p) for p in powers_dbm)
+    return mw_to_dbm(total_mw)

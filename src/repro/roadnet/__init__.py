@@ -1,0 +1,32 @@
+"""Road networks, zones and road-side-unit placement.
+
+The geographic and infrastructure categories of the survey both rely on maps:
+geographic routing partitions roads into zones or grid cells (Fig. 6) and
+infrastructure routing deploys RSUs along roads or at intersections (Fig. 5).
+This package supplies those structures.
+"""
+
+from repro.roadnet.graph import RoadGraph
+from repro.roadnet.grid import build_manhattan_graph
+from repro.roadnet.rsu_placement import (
+    coverage_fraction,
+    place_along_highway,
+    place_at_intersections,
+    place_on_grid,
+)
+from repro.roadnet.segments import RoadSegment
+from repro.roadnet.zones import CorridorZone, GridPartition, RectZone, Zone
+
+__all__ = [
+    "RoadGraph",
+    "build_manhattan_graph",
+    "coverage_fraction",
+    "place_along_highway",
+    "place_at_intersections",
+    "place_on_grid",
+    "RoadSegment",
+    "CorridorZone",
+    "GridPartition",
+    "RectZone",
+    "Zone",
+]

@@ -1,0 +1,141 @@
+"""Road graphs: intersections connected by road segments.
+
+Built on :mod:`networkx` so the geographic and probability protocols (CAR,
+GVGrid) can run shortest-path and best-reliability queries over road
+topology, the way they would over a digital map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.geometry import Vec2
+from repro.roadnet.segments import RoadSegment
+
+
+class RoadGraph:
+    """An undirected graph of intersections and road segments."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._segments: Dict[int, RoadSegment] = {}
+        self._next_segment_id = 0
+
+    # ------------------------------------------------------------- structure
+    def add_intersection(self, name: str, position: Vec2) -> str:
+        """Add an intersection node (idempotent for the same name)."""
+        self._graph.add_node(name, position=position)
+        return name
+
+    def add_road(
+        self,
+        a: str,
+        b: str,
+        lanes: int = 2,
+        speed_limit_mps: float = 13.9,
+    ) -> RoadSegment:
+        """Connect two existing intersections by a straight road segment."""
+        if a not in self._graph or b not in self._graph:
+            raise KeyError("both intersections must exist before adding a road")
+        segment = RoadSegment(
+            segment_id=self._next_segment_id,
+            start=self.position_of(a),
+            end=self.position_of(b),
+            lanes=lanes,
+            speed_limit_mps=speed_limit_mps,
+        )
+        self._next_segment_id += 1
+        self._segments[segment.segment_id] = segment
+        self._graph.add_edge(
+            a, b, length=segment.length, segment_id=segment.segment_id
+        )
+        return segment
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (read-only use recommended)."""
+        return self._graph
+
+    @property
+    def intersections(self) -> List[str]:
+        """Names of all intersections."""
+        return list(self._graph.nodes)
+
+    @property
+    def segments(self) -> List[RoadSegment]:
+        """All road segments."""
+        return list(self._segments.values())
+
+    def segment(self, segment_id: int) -> RoadSegment:
+        """Look up a segment by id."""
+        return self._segments[segment_id]
+
+    def segment_between(self, a: str, b: str) -> Optional[RoadSegment]:
+        """The segment connecting two intersections, if any."""
+        if not self._graph.has_edge(a, b):
+            return None
+        return self._segments[self._graph.edges[a, b]["segment_id"]]
+
+    def position_of(self, name: str) -> Vec2:
+        """Position of an intersection."""
+        return self._graph.nodes[name]["position"]
+
+    def neighbors(self, name: str) -> List[str]:
+        """Intersections directly connected to ``name``."""
+        return list(self._graph.neighbors(name))
+
+    def nearest_intersection(self, position: Vec2) -> str:
+        """The intersection closest to ``position``."""
+        if self._graph.number_of_nodes() == 0:
+            raise ValueError("road graph has no intersections")
+        return min(
+            self._graph.nodes,
+            key=lambda name: position.distance_to(self.position_of(name)),
+        )
+
+    def nearest_segment(self, position: Vec2) -> Optional[RoadSegment]:
+        """The road segment closest to ``position`` (None for an empty graph)."""
+        if not self._segments:
+            return None
+        return min(self._segments.values(), key=lambda s: s.distance_to(position))
+
+    def shortest_path(self, a: str, b: str) -> List[str]:
+        """Shortest path (by road length) between two intersections."""
+        return nx.shortest_path(self._graph, a, b, weight="length")
+
+    def shortest_path_length(self, a: str, b: str) -> float:
+        """Length in metres of the shortest path between two intersections."""
+        return nx.shortest_path_length(self._graph, a, b, weight="length")
+
+    def best_path(
+        self, a: str, b: str, edge_cost: Dict[Tuple[str, str], float]
+    ) -> List[str]:
+        """Shortest path under an arbitrary per-edge cost.
+
+        ``edge_cost`` maps (intersection, intersection) pairs (either order)
+        to a non-negative cost.  Edges missing from the map use their length.
+        This is the primitive CAR-style protocols use to pick the road path
+        with the best connectivity (lowest ``-log`` connectivity probability).
+        """
+
+        def weight(u: str, v: str, data: dict) -> float:
+            if (u, v) in edge_cost:
+                return edge_cost[(u, v)]
+            if (v, u) in edge_cost:
+                return edge_cost[(v, u)]
+            return data["length"]
+
+        return nx.shortest_path(self._graph, a, b, weight=weight)
+
+    def path_segments(self, path: Sequence[str]) -> List[RoadSegment]:
+        """Segments along a path of intersection names."""
+        result: List[RoadSegment] = []
+        for a, b in zip(path, path[1:]):
+            segment = self.segment_between(a, b)
+            if segment is None:
+                raise KeyError(f"no road between {a} and {b}")
+            result.append(segment)
+        return result

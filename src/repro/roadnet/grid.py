@@ -1,0 +1,64 @@
+"""Builders for regular (Manhattan) road graphs."""
+
+from __future__ import annotations
+
+from repro.geometry import Vec2
+from repro.roadnet.graph import RoadGraph
+
+
+def intersection_name(ix: int, iy: int) -> str:
+    """Canonical name of the intersection at grid coordinates ``(ix, iy)``."""
+    return f"I{ix}_{iy}"
+
+
+def build_manhattan_graph(
+    blocks_x: int,
+    blocks_y: int,
+    block_size_m: float = 200.0,
+    lanes: int = 2,
+    speed_limit_mps: float = 13.9,
+) -> RoadGraph:
+    """Build the road graph of a ``blocks_x`` x ``blocks_y`` Manhattan grid.
+
+    The graph has ``(blocks_x + 1) * (blocks_y + 1)`` intersections joined by
+    horizontal and vertical streets, matching the geometry of
+    :class:`repro.mobility.manhattan.ManhattanMobility`.
+    """
+    if blocks_x < 1 or blocks_y < 1:
+        raise ValueError("the grid needs at least one block in each direction")
+    graph = RoadGraph()
+    for ix in range(blocks_x + 1):
+        for iy in range(blocks_y + 1):
+            graph.add_intersection(
+                intersection_name(ix, iy), Vec2(ix * block_size_m, iy * block_size_m)
+            )
+    for ix in range(blocks_x + 1):
+        for iy in range(blocks_y + 1):
+            if ix < blocks_x:
+                graph.add_road(
+                    intersection_name(ix, iy),
+                    intersection_name(ix + 1, iy),
+                    lanes=lanes,
+                    speed_limit_mps=speed_limit_mps,
+                )
+            if iy < blocks_y:
+                graph.add_road(
+                    intersection_name(ix, iy),
+                    intersection_name(ix, iy + 1),
+                    lanes=lanes,
+                    speed_limit_mps=speed_limit_mps,
+                )
+    return graph
+
+
+def build_highway_graph(length_m: float, interchange_spacing_m: float = 1000.0) -> RoadGraph:
+    """Build a linear road graph representing a highway with interchanges."""
+    if interchange_spacing_m <= 0:
+        raise ValueError("interchange spacing must be positive")
+    graph = RoadGraph()
+    count = max(1, int(round(length_m / interchange_spacing_m)))
+    for i in range(count + 1):
+        graph.add_intersection(f"X{i}", Vec2(min(i * interchange_spacing_m, length_m), 0.0))
+    for i in range(count):
+        graph.add_road(f"X{i}", f"X{i + 1}", lanes=4, speed_limit_mps=33.0)
+    return graph

@@ -1,0 +1,84 @@
+"""Road-side-unit placement strategies and coverage analysis.
+
+Sec. V of the paper notes that infrastructure routing "is most reliable and
+feasible in reality", but "the deployment of infrastructure is costly and
+limited to urban area".  The placement helpers here let the benchmarks sweep
+RSU density from zero (rural) to full coverage (dense urban) and quantify
+both the delivery gain and the deployment cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry import Vec2
+from repro.roadnet.graph import RoadGraph
+
+
+def place_along_highway(
+    length_m: float, spacing_m: float, lateral_offset_m: float = 15.0
+) -> List[Vec2]:
+    """RSUs every ``spacing_m`` metres along a highway of ``length_m`` metres.
+
+    A non-positive or infinite spacing yields no RSUs (the "rural" case).
+    """
+    if spacing_m <= 0 or spacing_m == float("inf"):
+        return []
+    positions: List[Vec2] = []
+    x = spacing_m / 2.0
+    while x < length_m:
+        positions.append(Vec2(x, -lateral_offset_m))
+        x += spacing_m
+    return positions
+
+
+def place_at_intersections(graph: RoadGraph, every_k: int = 1) -> List[Vec2]:
+    """RSUs at every ``every_k``-th intersection of a road graph."""
+    if every_k < 1:
+        raise ValueError("every_k must be at least 1")
+    names = sorted(graph.intersections)
+    return [graph.position_of(name) for i, name in enumerate(names) if i % every_k == 0]
+
+
+def place_on_grid(
+    width_m: float, height_m: float, spacing_m: float
+) -> List[Vec2]:
+    """RSUs on a regular grid covering a ``width_m`` x ``height_m`` area."""
+    if spacing_m <= 0:
+        return []
+    positions: List[Vec2] = []
+    y = spacing_m / 2.0
+    while y < height_m:
+        x = spacing_m / 2.0
+        while x < width_m:
+            positions.append(Vec2(x, y))
+            x += spacing_m
+        y += spacing_m
+    return positions
+
+
+def coverage_fraction(
+    rsu_positions: Sequence[Vec2],
+    sample_points: Sequence[Vec2],
+    radio_range_m: float,
+) -> float:
+    """Fraction of ``sample_points`` within radio range of at least one RSU."""
+    if not sample_points:
+        return 0.0
+    if not rsu_positions:
+        return 0.0
+    covered = 0
+    for point in sample_points:
+        for rsu in rsu_positions:
+            if point.distance_to(rsu) <= radio_range_m:
+                covered += 1
+                break
+    return covered / len(sample_points)
+
+
+def sample_highway_points(length_m: float, step_m: float = 50.0) -> List[Vec2]:
+    """Evenly spaced sample points along a highway, for coverage analysis."""
+    if step_m <= 0:
+        raise ValueError("step must be positive")
+    count = int(length_m // step_m)
+    return [Vec2(i * step_m, 0.0) for i in range(count + 1)]

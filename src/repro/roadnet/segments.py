@@ -1,0 +1,62 @@
+"""Road segments: straight stretches of road between two intersections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Vec2, segment_point_distance
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """A straight road segment.
+
+    Attributes:
+        segment_id: Identifier unique within a road graph.
+        start: Position of the segment's first endpoint.
+        end: Position of the segment's second endpoint.
+        lanes: Number of lanes (both directions combined).
+        speed_limit_mps: Posted speed limit.
+    """
+
+    segment_id: int
+    start: Vec2
+    end: Vec2
+    lanes: int = 2
+    speed_limit_mps: float = 13.9
+
+    @property
+    def length(self) -> float:
+        """Segment length in metres."""
+        return self.start.distance_to(self.end)
+
+    @property
+    def direction(self) -> Vec2:
+        """Unit vector from start to end."""
+        return (self.end - self.start).normalized()
+
+    @property
+    def midpoint(self) -> Vec2:
+        """Centre point of the segment."""
+        return (self.start + self.end) * 0.5
+
+    def point_at(self, fraction: float) -> Vec2:
+        """Point at ``fraction`` (0 = start, 1 = end) along the segment."""
+        fraction = max(0.0, min(1.0, fraction))
+        return self.start + (self.end - self.start) * fraction
+
+    def distance_to(self, point: Vec2) -> float:
+        """Perpendicular distance from ``point`` to the segment."""
+        return segment_point_distance(self.start, self.end, point)
+
+    def contains(self, point: Vec2, lateral_tolerance: float = 10.0) -> bool:
+        """True when ``point`` lies on the segment within ``lateral_tolerance`` metres."""
+        return self.distance_to(point) <= lateral_tolerance
+
+    def projection_fraction(self, point: Vec2) -> float:
+        """Fraction along the segment of the closest point to ``point``."""
+        segment = self.end - self.start
+        length_sq = segment.norm_sq()
+        if length_sq == 0:
+            return 0.0
+        return max(0.0, min(1.0, (point - self.start).dot(segment) / length_sq))

@@ -1,0 +1,134 @@
+"""Geographic zones and grid partitions.
+
+Sec. VI of the paper describes geographic routing as partitioning the road
+into zones or grid cells (Fig. 6): packets are only forwarded inside the
+relevant zone, and within a zone/cell only gateway nodes retransmit.  The
+classes here provide those partitions; the protocols in
+:mod:`repro.protocols.geographic` consume them.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geometry import Vec2, segment_point_distance
+
+
+class Zone(ABC):
+    """A geographic region membership test."""
+
+    @abstractmethod
+    def contains(self, position: Vec2) -> bool:
+        """True when ``position`` lies inside the zone."""
+
+
+@dataclass(frozen=True)
+class RectZone(Zone):
+    """An axis-aligned rectangular zone (e.g. a 500 m section of road)."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def contains(self, position: Vec2) -> bool:
+        """Inclusive containment test."""
+        return (
+            self.x_min <= position.x <= self.x_max
+            and self.y_min <= position.y <= self.y_max
+        )
+
+    @property
+    def center(self) -> Vec2:
+        """Centre of the rectangle."""
+        return Vec2((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle in square metres."""
+        return max(0.0, self.x_max - self.x_min) * max(0.0, self.y_max - self.y_min)
+
+    def expanded(self, margin: float) -> "RectZone":
+        """A copy grown by ``margin`` metres on every side."""
+        return RectZone(
+            self.x_min - margin, self.y_min - margin, self.x_max + margin, self.y_max + margin
+        )
+
+
+@dataclass(frozen=True)
+class CorridorZone(Zone):
+    """The set of points within ``width`` metres of the source-destination line.
+
+    Zone routing (Bronsted et al., Sec. VI.B) restricts forwarding to a
+    corridor between the communicating endpoints; this class is that
+    corridor.
+    """
+
+    start: Vec2
+    end: Vec2
+    width: float
+
+    def contains(self, position: Vec2) -> bool:
+        """True when the point is within ``width`` of the start-end segment."""
+        return segment_point_distance(self.start, self.end, position) <= self.width
+
+
+class GridPartition:
+    """A regular square-cell partition of the plane (CarNet / GVGrid grids)."""
+
+    def __init__(self, cell_size: float, origin: Vec2 = Vec2(0.0, 0.0)) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell size must be positive")
+        self.cell_size = cell_size
+        self.origin = origin
+
+    def cell_of(self, position: Vec2) -> Tuple[int, int]:
+        """Integer cell coordinates containing ``position``."""
+        return (
+            math.floor((position.x - self.origin.x) / self.cell_size),
+            math.floor((position.y - self.origin.y) / self.cell_size),
+        )
+
+    def cell_center(self, cell: Tuple[int, int]) -> Vec2:
+        """Centre of a cell."""
+        return Vec2(
+            self.origin.x + (cell[0] + 0.5) * self.cell_size,
+            self.origin.y + (cell[1] + 0.5) * self.cell_size,
+        )
+
+    def cell_zone(self, cell: Tuple[int, int]) -> RectZone:
+        """The rectangular zone covered by a cell."""
+        x0 = self.origin.x + cell[0] * self.cell_size
+        y0 = self.origin.y + cell[1] * self.cell_size
+        return RectZone(x0, y0, x0 + self.cell_size, y0 + self.cell_size)
+
+    def same_cell(self, a: Vec2, b: Vec2) -> bool:
+        """True when both positions fall in the same cell."""
+        return self.cell_of(a) == self.cell_of(b)
+
+    def cell_distance(self, a: Tuple[int, int], b: Tuple[int, int]) -> int:
+        """Chebyshev distance between two cells."""
+        return max(abs(a[0] - b[0]), abs(a[1] - b[1]))
+
+    def cells_between(self, start: Vec2, end: Vec2) -> list[Tuple[int, int]]:
+        """Cells crossed by the straight line from ``start`` to ``end``.
+
+        Sampled at quarter-cell resolution, which is sufficient for routing
+        (the protocols only need a corridor of candidate cells).
+        """
+        distance = start.distance_to(end)
+        if distance == 0:
+            return [self.cell_of(start)]
+        steps = max(1, int(distance / (self.cell_size / 4.0)))
+        seen: list[Tuple[int, int]] = []
+        for i in range(steps + 1):
+            alpha = i / steps
+            point = start + (end - start) * alpha
+            cell = self.cell_of(point)
+            if not seen or seen[-1] != cell:
+                if cell not in seen:
+                    seen.append(cell)
+        return seen

@@ -1,0 +1,43 @@
+"""Discrete-event packet-level network simulator.
+
+This package is the substrate every routing protocol in the reproduction runs
+on.  It provides:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop and clock.
+* :class:`~repro.sim.rng.RandomStreams` -- named, reproducible random streams.
+* :class:`~repro.sim.packet.Packet` -- the unit of transmission.
+* :class:`~repro.sim.node.Node` -- a network node (vehicle, RSU or bus).
+* :class:`~repro.sim.medium.WirelessMedium` -- the shared broadcast channel.
+* :class:`~repro.sim.network.Network` -- glue that assembles nodes, medium
+  and mobility into a runnable simulation.
+* :class:`~repro.sim.statistics.StatsCollector` -- metric collection.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.medium import WirelessMedium
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node, StaticPositionProvider
+from repro.sim.packet import BROADCAST, Packet, PacketKind
+from repro.sim.rng import RandomStreams
+from repro.sim.statistics import FlowStats, StatsCollector
+from repro.sim.trace import EventTrace, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "WirelessMedium",
+    "Network",
+    "NetworkConfig",
+    "Node",
+    "StaticPositionProvider",
+    "BROADCAST",
+    "Packet",
+    "PacketKind",
+    "RandomStreams",
+    "FlowStats",
+    "StatsCollector",
+    "EventTrace",
+    "TraceRecord",
+]

@@ -1,0 +1,192 @@
+"""The discrete-event simulation engine (clock + event loop)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Simulator:
+    """Event loop, simulation clock and random-stream registry.
+
+    Typical use::
+
+        sim = Simulator(seed=7)
+        sim.schedule(1.0, my_callback, "argument")
+        sim.run(until=10.0)
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.rng = RandomStreams(seed)
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (useful for progress/debug)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (time={time}, now={self._now})"
+            )
+        return self._queue.push(time, callback, args, priority)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        rng_stream: str = "periodic-jitter",
+    ) -> "PeriodicTask":
+        """Schedule ``callback(*args)`` every ``interval`` seconds.
+
+        ``jitter`` adds a uniform random offset in ``[0, jitter]`` to each
+        firing, which is how real protocols desynchronise periodic beacons.
+        Returns a handle whose :meth:`PeriodicTask.cancel` stops the task.
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive (got {interval})")
+        task = PeriodicTask(self, interval, callback, args, jitter, rng_stream)
+        first_delay = start_delay if start_delay is not None else interval
+        task.start(first_delay)
+        return task
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Args:
+            until: Stop once the clock would pass this time (events scheduled
+                later stay in the queue).  ``None`` runs until the queue is
+                empty.
+            max_events: Safety valve -- stop after this many events.
+
+        Returns:
+            The simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fire()
+                self._events_processed += 1
+                if max_events is not None and self._events_processed >= max_events:
+                    break
+            else:
+                if until is not None and not self._stopped:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the event loop after the currently firing event returns."""
+        self._stopped = True
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock to zero (streams are kept)."""
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0
+        self._stopped = False
+
+
+class PeriodicTask:
+    """Handle for a periodically re-scheduled callback."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        jitter: float,
+        rng_stream: str,
+    ) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._args = args
+        self._jitter = jitter
+        self._rng = sim.rng.stream(rng_stream)
+        self._event: Optional[Event] = None
+        self._cancelled = False
+
+    def start(self, first_delay: float) -> None:
+        """Schedule the first firing ``first_delay`` seconds from now."""
+        delay = max(0.0, first_delay)
+        if self._jitter > 0:
+            delay += self._rng.uniform(0.0, self._jitter)
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Stop the task; a pending firing is cancelled as well."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._callback(*self._args)
+        if self._cancelled:
+            return
+        delay = self._interval
+        if self._jitter > 0:
+            delay += self._rng.uniform(0.0, self._jitter)
+        self._event = self._sim.schedule(delay, self._fire)

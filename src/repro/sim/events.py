@@ -1,0 +1,87 @@
+"""Event and event-queue primitives for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+guarantees FIFO ordering for events scheduled at the same instant, which in
+turn makes every simulation run fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Simulation time at which the callback fires.
+        priority: Tie-breaker for events at the same time (lower fires first).
+        seq: Monotonically increasing sequence number (second tie-breaker).
+        callback: Callable invoked when the event fires.
+        args: Positional arguments passed to the callback.
+        cancelled: When True the event is skipped by the engine.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = 0
+    callback: Optional[Callable[..., Any]] = field(default=None, compare=False)
+    args: tuple = field(default=(), compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was cancelled."""
+        if not self.cancelled and self.callback is not None:
+            self.callback(*self.args)
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at ``time`` and return the event."""
+        self._seq += 1
+        event = Event(
+            time=time, priority=priority, seq=self._seq, callback=callback, args=args
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (it may be cancelled)."""
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending non-cancelled event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

@@ -1,0 +1,251 @@
+"""The shared wireless broadcast medium.
+
+Every frame handed to the medium is propagated to all registered nodes: the
+propagation model attenuates it, concurrent transmissions interfere with it,
+and the reception model decides per receiver whether the frame arrives.
+Unicast frames (``next_hop`` set) are filtered at the receiver, but they
+still occupy the channel for everybody -- which is what makes flooding
+expensive and is the physical basis of Table I's "overhead / broadcast
+storm" column for connectivity-based routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.geometry import Vec2
+from repro.radio.interference import NO_SIGNAL_DBM, combine_dbm
+from repro.radio.mac import CsmaCaMac, MacConfig
+from repro.radio.propagation import PropagationModel, UnitDiskPropagation
+from repro.radio.reception import (
+    ReceptionDecision,
+    ReceptionModel,
+    SnrThresholdReception,
+)
+from repro.sim.engine import Simulator
+from repro.sim.packet import BROADCAST, Packet
+from repro.sim.statistics import StatsCollector
+from repro.sim.trace import EventTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.node import Node
+
+
+@dataclass
+class ActiveTransmission:
+    """A frame currently (or recently) on the air."""
+
+    sender_id: int
+    sender_position: Vec2
+    tx_power_dbm: float
+    packet: Packet
+    next_hop: int
+    start: float
+    end: float
+    uid: int = field(default=0)
+
+
+class WirelessMedium:
+    """Shared channel connecting every registered node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: Optional[PropagationModel] = None,
+        reception: Optional[ReceptionModel] = None,
+        stats: Optional[StatsCollector] = None,
+        mac_config: Optional[MacConfig] = None,
+        trace: Optional[EventTrace] = None,
+        carrier_sense_margin_db: float = 10.0,
+    ) -> None:
+        self.sim = sim
+        self.propagation = propagation if propagation is not None else UnitDiskPropagation()
+        self.reception = reception if reception is not None else SnrThresholdReception()
+        self.stats = stats if stats is not None else StatsCollector()
+        self.mac_config = mac_config if mac_config is not None else MacConfig()
+        self.trace = trace if trace is not None else EventTrace(enabled=False)
+        #: Carrier sensing is typically more sensitive than frame decoding.
+        self.carrier_sense_threshold_dbm = (
+            self.reception.sensitivity_dbm - carrier_sense_margin_db
+        )
+        self._nodes: Dict[int, "Node"] = {}
+        self._transmissions: List[ActiveTransmission] = []
+        self._tx_counter = 0
+        self._range_cache: Dict[float, float] = {}
+
+    # --------------------------------------------------------------- topology
+    def register(self, node: "Node") -> None:
+        """Attach a node to the channel and give it a MAC instance."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node id {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+        node.mac = CsmaCaMac(
+            node, self, self.mac_config, self.sim.rng.stream(f"mac-{node.node_id}")
+        )
+
+    def unregister(self, node_id: int) -> None:
+        """Detach a node (e.g. a vehicle leaving the scenario)."""
+        self._nodes.pop(node_id, None)
+
+    @property
+    def nodes(self) -> Dict[int, "Node"]:
+        """All registered nodes, keyed by node id."""
+        return self._nodes
+
+    def nodes_in_range(self, node: "Node", range_m: float) -> List["Node"]:
+        """Oracle: nodes whose current distance to ``node`` is below ``range_m``."""
+        position = node.position
+        return [
+            other
+            for other in self._nodes.values()
+            if other.node_id != node.node_id
+            and position.distance_to(other.position) <= range_m
+        ]
+
+    def nominal_range(self, tx_power_dbm: float = 20.0) -> float:
+        """Distance at which the mean received power hits the sensitivity."""
+        return self.propagation.nominal_range(tx_power_dbm, self.reception.sensitivity_dbm)
+
+    # ---------------------------------------------------------------- channel
+    def channel_busy(self, node: "Node") -> bool:
+        """True when ``node`` senses an ongoing transmission above the CS threshold."""
+        now = self.sim.now
+        position = node.position
+        for tx in self._transmissions:
+            if tx.end <= now or tx.sender_id == node.node_id:
+                continue
+            rx_power = self.propagation.rx_power_dbm(
+                tx.tx_power_dbm, tx.sender_position, position
+            )
+            if rx_power >= self.carrier_sense_threshold_dbm:
+                return True
+        return False
+
+    def begin_transmission(
+        self, sender: "Node", packet: Packet, next_hop: int, duration: float
+    ) -> None:
+        """Put a frame on the air; reception is evaluated when it ends."""
+        now = self.sim.now
+        self._tx_counter += 1
+        transmission = ActiveTransmission(
+            sender_id=sender.node_id,
+            sender_position=sender.position,
+            tx_power_dbm=sender.tx_power_dbm,
+            packet=packet,
+            next_hop=next_hop,
+            start=now,
+            end=now + duration,
+            uid=self._tx_counter,
+        )
+        self._transmissions.append(transmission)
+        self.stats.transmission(packet)
+        self.trace.record(
+            now,
+            "tx",
+            sender.node_id,
+            ptype=packet.ptype,
+            protocol=packet.protocol,
+            next_hop=next_hop,
+            uid=packet.uid,
+        )
+        self.sim.schedule(duration, self._complete, transmission)
+
+    # ------------------------------------------------------------- completion
+    def _complete(self, transmission: ActiveTransmission) -> None:
+        now = self.sim.now
+        self._prune(now)
+        cutoff = self._reception_cutoff(transmission.tx_power_dbm)
+        rng = self.sim.rng.stream("phy-reception")
+        is_unicast = transmission.next_hop != BROADCAST
+        unicast_delivered = False
+        for node in list(self._nodes.values()):
+            if node.node_id == transmission.sender_id:
+                continue
+            receiver_position = node.position
+            distance = transmission.sender_position.distance_to(receiver_position)
+            if distance > cutoff:
+                continue
+            rx_power = self.propagation.rx_power_dbm(
+                transmission.tx_power_dbm, transmission.sender_position, receiver_position
+            )
+            if rx_power <= NO_SIGNAL_DBM:
+                continue
+            interference = self._interference_at(receiver_position, transmission, now)
+            outcome = self.reception.decide(rx_power, interference, rng)
+            intended = (
+                transmission.next_hop == BROADCAST
+                or transmission.next_hop == node.node_id
+            )
+            if outcome.ok:
+                if intended:
+                    if is_unicast:
+                        unicast_delivered = True
+                    self.trace.record(
+                        now,
+                        "rx",
+                        node.node_id,
+                        ptype=transmission.packet.ptype,
+                        sender=transmission.sender_id,
+                        uid=transmission.packet.uid,
+                    )
+                    node.deliver(transmission.packet.copy(), transmission.sender_id)
+            elif outcome.decision is ReceptionDecision.COLLISION:
+                if intended:
+                    self.stats.collision()
+                    self.trace.record(
+                        now,
+                        "collision",
+                        node.node_id,
+                        sender=transmission.sender_id,
+                        uid=transmission.packet.uid,
+                    )
+            elif intended and transmission.next_hop == node.node_id:
+                self.stats.weak_signal()
+        if is_unicast:
+            sender = self._nodes.get(transmission.sender_id)
+            if sender is not None and sender.mac is not None:
+                sender.mac.notify_unicast_result(
+                    transmission.packet, transmission.next_hop, unicast_delivered
+                )
+
+    def _interference_at(
+        self, position: Vec2, transmission: ActiveTransmission, now: float
+    ) -> float:
+        """Aggregate power of transmissions overlapping ``transmission`` at ``position``."""
+        contributions: List[float] = []
+        for other in self._transmissions:
+            if other.uid == transmission.uid:
+                continue
+            if other.end <= transmission.start or other.start >= transmission.end:
+                continue
+            power = self.propagation.rx_power_dbm(
+                other.tx_power_dbm, other.sender_position, position
+            )
+            if power > NO_SIGNAL_DBM:
+                contributions.append(power)
+        if not contributions:
+            return NO_SIGNAL_DBM
+        return combine_dbm(contributions)
+
+    def _reception_cutoff(self, tx_power_dbm: float) -> float:
+        """Distance beyond which reception is impossible (evaluation cutoff)."""
+        cached = self._range_cache.get(tx_power_dbm)
+        if cached is not None:
+            return cached
+        nominal = self.propagation.nominal_range(
+            tx_power_dbm, self.reception.sensitivity_dbm
+        )
+        # Shadowed channels occasionally reach beyond the nominal range;
+        # a 2x margin keeps that tail while bounding the per-frame work.
+        cutoff = nominal * 2.0 if nominal > 0 else 0.0
+        self._range_cache[tx_power_dbm] = cutoff
+        return cutoff
+
+    def _prune(self, now: float) -> None:
+        """Drop transmissions that can no longer overlap anything in flight."""
+        horizon = now - 1.0
+        if len(self._transmissions) > 256:
+            self._transmissions = [t for t in self._transmissions if t.end >= horizon]
+        else:
+            self._transmissions = [t for t in self._transmissions if t.end >= now - 1.0]

@@ -1,0 +1,220 @@
+"""Network assembly: nodes + medium + mobility + RSU backbone.
+
+The :class:`Network` owns the node table, steps the mobility model on a fixed
+cadence, and implements the wired backbone that connects road-side units
+(Sec. V of the paper: RSUs "are connected by backbone links with high
+bandwidth, low delay, and low bit error rates").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Protocol
+
+from repro.geometry import Vec2
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.medium import WirelessMedium
+from repro.sim.node import Node, NodeKind, PositionProvider, StaticPositionProvider
+from repro.sim.packet import Packet
+from repro.sim.statistics import StatsCollector
+from repro.sim.trace import EventTrace
+
+
+class MobilityModel(Protocol):
+    """Anything the network can step forward in time."""
+
+    def step(self, dt: float, now: float) -> None:
+        """Advance every vehicle by ``dt`` seconds."""
+
+
+@dataclass
+class NetworkConfig:
+    """Network-level configuration.
+
+    Attributes:
+        mobility_step: Interval (seconds) between mobility-model updates.
+        backbone_latency_s: One-way latency of the wired RSU backbone.
+        backbone_bitrate_bps: Backbone bandwidth used for serialisation delay.
+    """
+
+    mobility_step: float = 0.5
+    backbone_latency_s: float = 0.002
+    backbone_bitrate_bps: float = 100e6
+
+
+class Network:
+    """The simulated VANET: vehicles, RSUs, buses, channel and backbone."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Optional[WirelessMedium] = None,
+        stats: Optional[StatsCollector] = None,
+        mobility: Optional[MobilityModel] = None,
+        config: Optional[NetworkConfig] = None,
+        trace: Optional[EventTrace] = None,
+    ) -> None:
+        self.sim = sim
+        self.stats = stats if stats is not None else StatsCollector()
+        self.trace = trace if trace is not None else EventTrace(enabled=False)
+        self.medium = (
+            medium
+            if medium is not None
+            else WirelessMedium(sim, stats=self.stats, trace=self.trace)
+        )
+        # Keep a single stats/trace instance even when a medium was supplied.
+        self.medium.stats = self.stats
+        self.medium.trace = self.trace
+        self.mobility = mobility
+        self.config = config if config is not None else NetworkConfig()
+        self._nodes: Dict[int, Node] = {}
+        self._next_node_id = 0
+        self._mobility_task: Optional[PeriodicTask] = None
+        self._started = False
+
+    # ----------------------------------------------------------------- nodes
+    def _allocate_id(self, requested: Optional[int]) -> int:
+        if requested is not None:
+            if requested in self._nodes:
+                raise ValueError(f"node id {requested} already in use")
+            self._next_node_id = max(self._next_node_id, requested + 1)
+            return requested
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        return node_id
+
+    def add_vehicle(
+        self, position_provider: PositionProvider, node_id: Optional[int] = None
+    ) -> Node:
+        """Add a vehicle node whose kinematics come from ``position_provider``."""
+        return self._add_node(position_provider, NodeKind.VEHICLE, node_id)
+
+    def add_rsu(self, position: Vec2, node_id: Optional[int] = None) -> Node:
+        """Add a fixed road-side unit at ``position``."""
+        return self._add_node(StaticPositionProvider(position), NodeKind.RSU, node_id)
+
+    def add_bus(
+        self, position_provider: PositionProvider, node_id: Optional[int] = None
+    ) -> Node:
+        """Add a bus-ferry node (mobile, but with a known regular route)."""
+        return self._add_node(position_provider, NodeKind.BUS, node_id)
+
+    def _add_node(
+        self,
+        position_provider: PositionProvider,
+        kind: NodeKind,
+        node_id: Optional[int],
+    ) -> Node:
+        identifier = self._allocate_id(node_id)
+        node = Node(identifier, position_provider, kind)
+        node.network = self
+        self._nodes[identifier] = node
+        self.medium.register(node)
+        return node
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node from the network and the channel."""
+        self._nodes.pop(node_id, None)
+        self.medium.unregister(node_id)
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by id."""
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: int) -> bool:
+        """True when ``node_id`` is part of the network."""
+        return node_id in self._nodes
+
+    @property
+    def nodes(self) -> Dict[int, Node]:
+        """All nodes keyed by node id."""
+        return self._nodes
+
+    @property
+    def vehicles(self) -> List[Node]:
+        """All vehicle nodes."""
+        return [n for n in self._nodes.values() if n.kind is NodeKind.VEHICLE]
+
+    @property
+    def rsus(self) -> List[Node]:
+        """All road-side units."""
+        return [n for n in self._nodes.values() if n.kind is NodeKind.RSU]
+
+    @property
+    def buses(self) -> List[Node]:
+        """All bus-ferry nodes."""
+        return [n for n in self._nodes.values() if n.kind is NodeKind.BUS]
+
+    # ------------------------------------------------------------- neighbours
+    def nodes_within(
+        self, position: Vec2, radius: float, exclude: Optional[int] = None
+    ) -> List[Node]:
+        """Nodes within ``radius`` metres of ``position``."""
+        return [
+            node
+            for node in self._nodes.values()
+            if node.node_id != exclude and position.distance_to(node.position) <= radius
+        ]
+
+    def neighbors_of(self, node: Node, radius: Optional[float] = None) -> List[Node]:
+        """Oracle neighbourhood of ``node`` (defaults to the nominal radio range)."""
+        if radius is None:
+            radius = self.medium.nominal_range(node.tx_power_dbm)
+        return self.nodes_within(node.position, radius, exclude=node.node_id)
+
+    # --------------------------------------------------------------- backbone
+    def backbone_send(self, source_rsu: Node, target_rsu: Node, packet: Packet) -> None:
+        """Deliver a packet between two RSUs over the wired backbone."""
+        if not source_rsu.is_infrastructure or not target_rsu.is_infrastructure:
+            raise ValueError("backbone_send requires two RSU nodes")
+        serialisation = packet.size_bytes * 8.0 / self.config.backbone_bitrate_bps
+        delay = self.config.backbone_latency_s + serialisation
+        self.stats.backbone_transmission(packet)
+        self.trace.record(
+            self.sim.now,
+            "backbone",
+            source_rsu.node_id,
+            target=target_rsu.node_id,
+            ptype=packet.ptype,
+        )
+        self.sim.schedule(delay, target_rsu.wired_deliver, packet.copy(), source_rsu.node_id)
+
+    def backbone_broadcast(self, source_rsu: Node, packet: Packet) -> None:
+        """Deliver a packet from one RSU to every other RSU over the backbone."""
+        for rsu in self.rsus:
+            if rsu.node_id != source_rsu.node_id:
+                self.backbone_send(source_rsu, rsu, packet)
+
+    # -------------------------------------------------------------- protocols
+    def attach_protocols(self, factory: Callable[[Node], "object"]) -> None:
+        """Instantiate a routing protocol for every node using ``factory``."""
+        for node in self._nodes.values():
+            protocol = factory(node)
+            node.attach_protocol(protocol)
+
+    # ------------------------------------------------------------------ start
+    def start(self) -> None:
+        """Start mobility stepping and every node's routing protocol."""
+        if self._started:
+            return
+        self._started = True
+        if self.mobility is not None and self.config.mobility_step > 0:
+            self._mobility_task = self.sim.schedule_periodic(
+                self.config.mobility_step,
+                self._step_mobility,
+                start_delay=self.config.mobility_step,
+            )
+        for node in list(self._nodes.values()):
+            if node.protocol is not None:
+                node.protocol.start()
+
+    def stop(self) -> None:
+        """Stop mobility stepping (protocols keep their own timers)."""
+        if self._mobility_task is not None:
+            self._mobility_task.cancel()
+            self._mobility_task = None
+        self._started = False
+
+    def _step_mobility(self) -> None:
+        if self.mobility is not None:
+            self.mobility.step(self.config.mobility_step, self.sim.now)

@@ -1,0 +1,300 @@
+"""Metric collection.
+
+The benchmarks regenerate the paper's Table I, which compares the five
+protocol categories on reliability, overhead and applicability.  The
+collector therefore tracks, per simulation run:
+
+* per-flow packet delivery ratio, end-to-end delay and hop count,
+* control-packet overhead (packets and bytes, plus the normalised overhead
+  ratio used throughout the VANET literature),
+* MAC/PHY losses (collisions, weak signal, queue drops) -- the mechanism
+  behind the "broadcast storm" cost of connectivity-based routing,
+* route-discovery latency and route lifetime -- the mobility/probability
+  category metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sim.packet import Packet
+
+
+@dataclass
+class FlowStats:
+    """Per-application-flow accounting."""
+
+    flow_id: int
+    source: int
+    destination: int
+    sent: int = 0
+    delivered: int = 0
+    duplicates: int = 0
+    delays: List[float] = field(default_factory=list)
+    hop_counts: List[int] = field(default_factory=list)
+    _delivered_seqs: Set[Tuple] = field(default_factory=set)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of originated packets that reached the destination."""
+        if self.sent == 0:
+            return 0.0
+        return self.delivered / self.sent
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean end-to-end delay of delivered packets (0 if none delivered)."""
+        if not self.delays:
+            return 0.0
+        return sum(self.delays) / len(self.delays)
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean hop count of delivered packets (0 if none delivered)."""
+        if not self.hop_counts:
+            return 0.0
+        return sum(self.hop_counts) / len(self.hop_counts)
+
+
+class StatsCollector:
+    """Accumulates counters for one simulation run."""
+
+    def __init__(self) -> None:
+        self.flows: Dict[int, FlowStats] = {}
+        # Transmission counters (every frame handed to the channel).
+        self.data_transmissions = 0
+        self.control_transmissions = 0
+        self.control_bytes = 0
+        self.data_bytes = 0
+        self.control_by_type: Dict[str, int] = {}
+        # Loss counters.
+        self.mac_collisions = 0
+        self.phy_weak_signal = 0
+        self.mac_queue_drops = 0
+        self.ttl_drops = 0
+        self.no_route_drops = 0
+        self.buffer_drops = 0
+        # Routing-layer events.
+        self.route_discoveries_started = 0
+        self.route_discoveries_completed = 0
+        self.route_discovery_latencies: List[float] = []
+        self.link_breaks = 0
+        self.route_repairs = 0
+        self.route_lifetimes: List[float] = []
+        # Wired backbone usage (infrastructure category).
+        self.backbone_transmissions = 0
+        self.store_carry_events = 0
+
+    # ------------------------------------------------------------------ flows
+    def register_flow(self, flow_id: int, source: int, destination: int) -> FlowStats:
+        """Create (or return) the accounting record for a flow."""
+        if flow_id not in self.flows:
+            self.flows[flow_id] = FlowStats(flow_id, source, destination)
+        return self.flows[flow_id]
+
+    def data_originated(self, packet: Packet) -> None:
+        """Record that an application originated a data packet."""
+        if packet.flow_id is None:
+            return
+        flow = self.register_flow(packet.flow_id, packet.source, packet.destination)
+        flow.sent += 1
+
+    def data_delivered(self, packet: Packet, now: float) -> None:
+        """Record a data packet arriving at its final destination."""
+        if packet.flow_id is None:
+            return
+        flow = self.register_flow(packet.flow_id, packet.source, packet.destination)
+        key = packet.flow_key
+        if key in flow._delivered_seqs:
+            flow.duplicates += 1
+            return
+        flow._delivered_seqs.add(key)
+        flow.delivered += 1
+        flow.delays.append(max(0.0, now - packet.created_at))
+        # ``hop_count`` is incremented by every *forwarder*; the originator's
+        # own transmission is the first link, so the traversed link count is
+        # one more than the forward count.
+        flow.hop_counts.append(packet.hop_count + 1)
+
+    # ---------------------------------------------------------- transmissions
+    def transmission(self, packet: Packet) -> None:
+        """Record a frame handed to the wireless channel."""
+        if packet.is_control:
+            self.control_transmissions += 1
+            self.control_bytes += packet.size_bytes
+            self.control_by_type[packet.ptype] = self.control_by_type.get(packet.ptype, 0) + 1
+        else:
+            self.data_transmissions += 1
+            self.data_bytes += packet.size_bytes
+
+    def backbone_transmission(self, packet: Packet) -> None:
+        """Record a frame crossing the wired RSU backbone."""
+        self.backbone_transmissions += 1
+
+    # ----------------------------------------------------------------- losses
+    def collision(self) -> None:
+        """Record a frame lost to interference at some receiver."""
+        self.mac_collisions += 1
+
+    def weak_signal(self) -> None:
+        """Record a frame below the receiver sensitivity at some receiver."""
+        self.phy_weak_signal += 1
+
+    def queue_drop(self) -> None:
+        """Record a frame dropped because a MAC queue overflowed."""
+        self.mac_queue_drops += 1
+
+    def ttl_drop(self) -> None:
+        """Record a packet discarded because its TTL expired."""
+        self.ttl_drops += 1
+
+    def no_route_drop(self) -> None:
+        """Record a data packet dropped for lack of a route / next hop."""
+        self.no_route_drops += 1
+
+    def buffer_drop(self) -> None:
+        """Record a packet evicted from a protocol buffer (store-carry-forward)."""
+        self.buffer_drops += 1
+
+    def store_carry(self) -> None:
+        """Record a packet being buffered for store-carry-forward."""
+        self.store_carry_events += 1
+
+    # ---------------------------------------------------------------- routing
+    def route_discovery_started(self) -> None:
+        """Record the start of a route-discovery cycle."""
+        self.route_discoveries_started += 1
+
+    def route_discovery_completed(self, latency: float) -> None:
+        """Record a successful route discovery and its latency."""
+        self.route_discoveries_completed += 1
+        self.route_discovery_latencies.append(latency)
+
+    def link_break(self) -> None:
+        """Record a detected link break on an active route."""
+        self.link_breaks += 1
+
+    def route_repair(self) -> None:
+        """Record a route repair / preemptive rebuild."""
+        self.route_repairs += 1
+
+    def route_lifetime(self, lifetime: float) -> None:
+        """Record how long an established route lasted before breaking."""
+        self.route_lifetimes.append(lifetime)
+
+    # ---------------------------------------------------------------- summary
+    @property
+    def total_sent(self) -> int:
+        """Data packets originated across all flows."""
+        return sum(flow.sent for flow in self.flows.values())
+
+    @property
+    def total_delivered(self) -> int:
+        """Unique data packets delivered across all flows."""
+        return sum(flow.delivered for flow in self.flows.values())
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Aggregate packet delivery ratio across all flows."""
+        sent = self.total_sent
+        if sent == 0:
+            return 0.0
+        return self.total_delivered / sent
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean end-to-end delay over all delivered packets."""
+        delays = [d for flow in self.flows.values() for d in flow.delays]
+        if not delays:
+            return 0.0
+        return sum(delays) / len(delays)
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean hop count over all delivered packets."""
+        hops = [h for flow in self.flows.values() for h in flow.hop_counts]
+        if not hops:
+            return 0.0
+        return sum(hops) / len(hops)
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Control transmissions per delivered data packet.
+
+        This is the normalised routing overhead commonly reported in the
+        VANET literature.  When nothing is delivered the raw control count is
+        returned so that a protocol cannot hide overhead by failing.
+        """
+        delivered = self.total_delivered
+        if delivered == 0:
+            return float(self.control_transmissions)
+        return self.control_transmissions / delivered
+
+    @property
+    def transmissions_per_delivery(self) -> float:
+        """Total frames (control + data) per delivered data packet."""
+        delivered = self.total_delivered
+        total = self.control_transmissions + self.data_transmissions
+        if delivered == 0:
+            return float(total)
+        return total / delivered
+
+    @property
+    def beacon_transmissions(self) -> int:
+        """HELLO-beacon transmissions (the neighbour-awareness overhead)."""
+        return self.control_by_type.get("HELLO", 0)
+
+    @property
+    def discovery_transmissions(self) -> int:
+        """Control transmissions excluding HELLO beacons.
+
+        This isolates the route-discovery / probing cost the probability
+        category claims to reduce ("selectively probes, rather than
+        brute-force floods") from the baseline beaconing everyone pays.
+        """
+        return self.control_transmissions - self.beacon_transmissions
+
+    @property
+    def mean_route_discovery_latency(self) -> float:
+        """Mean route-discovery latency (0 if no discovery completed)."""
+        if not self.route_discovery_latencies:
+            return 0.0
+        return sum(self.route_discovery_latencies) / len(self.route_discovery_latencies)
+
+    @property
+    def mean_route_lifetime(self) -> float:
+        """Mean lifetime of established routes (0 if none recorded)."""
+        if not self.route_lifetimes:
+            return 0.0
+        return sum(self.route_lifetimes) / len(self.route_lifetimes)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of the headline metrics for reporting."""
+        return {
+            "data_sent": float(self.total_sent),
+            "data_delivered": float(self.total_delivered),
+            "delivery_ratio": self.delivery_ratio,
+            "mean_delay_s": self.mean_delay,
+            "mean_hops": self.mean_hops,
+            "control_transmissions": float(self.control_transmissions),
+            "control_bytes": float(self.control_bytes),
+            "beacon_transmissions": float(self.beacon_transmissions),
+            "discovery_transmissions": float(self.discovery_transmissions),
+            "data_transmissions": float(self.data_transmissions),
+            "overhead_ratio": self.overhead_ratio,
+            "transmissions_per_delivery": self.transmissions_per_delivery,
+            "mac_collisions": float(self.mac_collisions),
+            "phy_weak_signal": float(self.phy_weak_signal),
+            "mac_queue_drops": float(self.mac_queue_drops),
+            "ttl_drops": float(self.ttl_drops),
+            "no_route_drops": float(self.no_route_drops),
+            "route_discoveries_started": float(self.route_discoveries_started),
+            "route_discoveries_completed": float(self.route_discoveries_completed),
+            "mean_route_discovery_latency_s": self.mean_route_discovery_latency,
+            "link_breaks": float(self.link_breaks),
+            "route_repairs": float(self.route_repairs),
+            "mean_route_lifetime_s": self.mean_route_lifetime,
+            "backbone_transmissions": float(self.backbone_transmissions),
+            "store_carry_events": float(self.store_carry_events),
+        }

@@ -1,0 +1,76 @@
+"""Lightweight event tracing.
+
+Traces are optional (disabled by default, because recording every packet
+event is expensive in dense scenarios) and are used by integration tests and
+by the examples to explain what a protocol did, e.g. to show the RREQ flood
+and RREP return of Fig. 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str
+    node_id: Optional[int]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventTrace:
+    """An append-only, filterable log of :class:`TraceRecord` objects."""
+
+    def __init__(self, enabled: bool = False, max_records: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.max_records = max_records
+        self._records: List[TraceRecord] = []
+        self._dropped = 0
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        node_id: Optional[int] = None,
+        **detail: Any,
+    ) -> None:
+        """Append a record if tracing is enabled (and the cap not reached)."""
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self._records) >= self.max_records:
+            self._dropped += 1
+            return
+        self._records.append(TraceRecord(time, category, node_id, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Number of records that were discarded due to the cap."""
+        return self._dropped
+
+    def records(
+        self,
+        category: Optional[str] = None,
+        node_id: Optional[int] = None,
+    ) -> List[TraceRecord]:
+        """Records matching the optional category / node filters."""
+        selected = self._records
+        if category is not None:
+            selected = [r for r in selected if r.category == category]
+        if node_id is not None:
+            selected = [r for r in selected if r.node_id == node_id]
+        return list(selected)
+
+    def clear(self) -> None:
+        """Discard all records."""
+        self._records.clear()
+        self._dropped = 0

@@ -1,0 +1,3 @@
+"""Package version, kept in a dedicated module so it can be imported cheaply."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,20 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.statistics import StatsCollector
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator seeded deterministically."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def stats() -> StatsCollector:
+    """A fresh statistics collector."""
+    return StatsCollector()

@@ -1,0 +1,163 @@
+"""Tests for the link-lifetime model (paper Eqns. 1-4, Fig. 3)."""
+
+import math
+
+import pytest
+
+from repro.core.link_lifetime import (
+    LinkLifetimePredictor,
+    link_breakage_indicator,
+    link_lifetime_1d,
+    link_lifetime_2d,
+    relative_motion_1d,
+    time_to_closest_approach,
+)
+from repro.geometry import Vec2
+from repro.mobility.vehicle import VehicleState
+
+
+class TestOneDimensionalLifetime:
+    def test_receding_at_constant_speed(self):
+        # Same position, i pulls ahead at 5 m/s: the link lasts r / dv.
+        assert link_lifetime_1d(0.0, 5.0, 0.0, 250.0) == pytest.approx(50.0)
+
+    def test_approaching_then_receding(self):
+        # i starts 100 m behind j and closes at 10 m/s: it must cover
+        # 100 + 250 = 350 m relative before the link breaks ahead of j.
+        assert link_lifetime_1d(-100.0, 10.0, 0.0, 250.0) == pytest.approx(35.0)
+
+    def test_identical_speeds_never_break(self):
+        assert link_lifetime_1d(50.0, 0.0, 0.0, 250.0) == math.inf
+
+    def test_already_out_of_range_is_zero(self):
+        assert link_lifetime_1d(300.0, 1.0, 0.0, 250.0) == 0.0
+
+    def test_symmetric_in_sign_of_relative_speed(self):
+        forward = link_lifetime_1d(0.0, 4.0, 0.0, 250.0)
+        backward = link_lifetime_1d(0.0, -4.0, 0.0, 250.0)
+        assert forward == pytest.approx(backward)
+
+    def test_lifetime_shrinks_with_relative_speed(self):
+        slow = link_lifetime_1d(0.0, 2.0, 0.0, 250.0)
+        fast = link_lifetime_1d(0.0, 20.0, 0.0, 250.0)
+        assert fast < slow
+
+    def test_acceleration_shortens_lifetime(self):
+        without = link_lifetime_1d(0.0, 5.0, 0.0, 250.0)
+        with_accel = link_lifetime_1d(0.0, 5.0, 1.0, 250.0)
+        assert with_accel < without
+        # Closed form: 0.5 t^2 + 5 t - 250 = 0.
+        expected = (-5.0 + math.sqrt(25.0 + 2.0 * 250.0)) / 1.0
+        assert with_accel == pytest.approx(expected)
+
+    def test_deceleration_reverses_motion_and_breaks_behind(self):
+        # i pulls ahead but decelerates relative to j: the separation peaks at
+        # 12.5 m, reverses, and the link finally breaks 250 m *behind* j.
+        expected = (10.0 + math.sqrt(100.0 + 2000.0)) / 2.0
+        assert link_lifetime_1d(0.0, 5.0, -1.0, 250.0) == pytest.approx(expected)
+
+    def test_deceleration_with_saturation_makes_link_permanent(self):
+        # Same scenario, but the relative deceleration stops once the speeds
+        # equalise (5 s horizon): the separation then stays at 12.5 m forever.
+        assert link_lifetime_1d(0.0, 5.0, -1.0, 250.0, speed_limit_duration=5.0) == math.inf
+
+    def test_speed_limit_horizon_switches_to_constant_speed(self):
+        # Accelerating apart at 1 m/s^2 for 10 s then constant: compare with
+        # naive constant-acceleration solution (which would be shorter).
+        limited = link_lifetime_1d(
+            0.0, 0.0, 1.0, 250.0, speed_limit_duration=10.0
+        )
+        unlimited = link_lifetime_1d(0.0, 0.0, 1.0, 250.0)
+        assert unlimited < limited
+        # After 10 s: moved 50 m, relative speed 10 m/s, 200 m to go -> 30 s total.
+        assert limited == pytest.approx(30.0)
+
+    def test_opposite_direction_vehicles_break_quickly(self):
+        # Closing/receding at 60 m/s (30 + 30 opposite): under 10 s of contact
+        # window when starting at range edge.
+        lifetime = link_lifetime_1d(-249.0, 60.0, 0.0, 250.0)
+        assert lifetime < 10.0
+
+
+class TestHelpers:
+    def test_relative_motion(self):
+        assert relative_motion_1d(30.0, 25.0, 1.0, -1.0) == (5.0, 2.0)
+
+    def test_indicator_sign(self):
+        assert link_breakage_indicator(10.0) == 1
+        assert link_breakage_indicator(-10.0) == -1
+
+    def test_time_to_closest_approach(self):
+        t = time_to_closest_approach(Vec2(0, 0), Vec2(10, 0), Vec2(100, 0), Vec2(0, 0))
+        assert t == pytest.approx(10.0)
+        # Receding vehicles are closest now.
+        t = time_to_closest_approach(Vec2(0, 0), Vec2(-10, 0), Vec2(100, 0), Vec2(0, 0))
+        assert t == 0.0
+
+
+class TestTwoDimensionalLifetime:
+    def test_matches_1d_for_collinear_motion(self):
+        lifetime_2d = link_lifetime_2d(
+            Vec2(0, 0), Vec2(30, 0), Vec2(100, 0), Vec2(25, 0), 250.0
+        )
+        lifetime_1d = link_lifetime_1d(-100.0, 5.0, 0.0, 250.0)
+        assert lifetime_2d == pytest.approx(lifetime_1d)
+
+    def test_perpendicular_crossing(self):
+        # Two vehicles crossing at right angles through the same point.
+        lifetime = link_lifetime_2d(Vec2(0, 0), Vec2(10, 0), Vec2(0, 0), Vec2(0, 10), 250.0)
+        # Separation grows as sqrt(2) * 10 * t -> breaks at 250 / 14.14.
+        assert lifetime == pytest.approx(250.0 / (10.0 * math.sqrt(2.0)))
+
+    def test_stationary_pair_never_breaks(self):
+        assert link_lifetime_2d(Vec2(0, 0), Vec2(0, 0), Vec2(50, 0), Vec2(0, 0)) == math.inf
+
+    def test_out_of_range_pair_is_zero(self):
+        assert link_lifetime_2d(Vec2(0, 0), Vec2(1, 0), Vec2(500, 0), Vec2(0, 0), 250.0) == 0.0
+
+
+class TestPredictor:
+    def _vehicle(self, x, y, speed, heading):
+        return VehicleState(vid=0, position=Vec2(x, y), speed=speed, heading=heading)
+
+    def test_same_direction_outlives_opposite_direction(self):
+        predictor = LinkLifetimePredictor(250.0)
+        a = self._vehicle(0, 0, 30.0, 0.0)
+        same = self._vehicle(100, 0, 28.0, 0.0)
+        opposite = self._vehicle(100, 0, 28.0, math.pi)
+        assert predictor.predict(a, same) > predictor.predict(a, opposite)
+
+    def test_detailed_prediction_reports_indicator(self):
+        predictor = LinkLifetimePredictor(250.0)
+        follower = self._vehicle(0, 0, 35.0, 0.0)
+        leader = self._vehicle(50, 0, 25.0, 0.0)
+        detail = predictor.predict_detailed(follower, leader)
+        assert detail.lifetime > 0
+        assert detail.relative_speed == pytest.approx(10.0)
+        # The faster follower ends up ahead when the link finally breaks.
+        assert detail.indicator == 1
+
+    def test_path_lifetime_is_minimum(self):
+        predictor = LinkLifetimePredictor()
+        assert predictor.path_lifetime([12.0, 5.0, 30.0]) == 5.0
+        assert predictor.path_lifetime([]) == 0.0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            LinkLifetimePredictor(0.0)
+
+    def test_prediction_matches_simulated_breakage(self):
+        """Analytic lifetime agrees with brute-force kinematic simulation."""
+        predictor = LinkLifetimePredictor(250.0)
+        a = self._vehicle(0, 0, 33.0, 0.0)
+        b = self._vehicle(80, 3.5, 26.0, 0.0)
+        predicted = predictor.predict(a, b)
+        # Integrate positions until the distance exceeds the range.
+        dt = 0.01
+        t = 0.0
+        pos_a, pos_b = a.position, b.position
+        while pos_a.distance_to(pos_b) <= 250.0 and t < 500.0:
+            pos_a = pos_a + a.velocity * dt
+            pos_b = pos_b + b.velocity * dt
+            t += dt
+        assert predicted == pytest.approx(t, abs=0.1)

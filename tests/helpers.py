@@ -1,0 +1,106 @@
+"""Shared helpers for building small, controlled networks in tests."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry import Vec2
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.registry import make_protocol_factory
+from repro.radio.propagation import UnitDiskPropagation
+from repro.radio.reception import SnrThresholdReception
+from repro.roadnet.graph import RoadGraph
+from repro.sim.engine import Simulator
+from repro.sim.medium import WirelessMedium
+from repro.sim.network import Network
+from repro.sim.node import Node, StaticPositionProvider
+from repro.sim.statistics import StatsCollector
+from repro.sim.trace import EventTrace
+
+
+class LinearMotionProvider:
+    """Position provider for a node moving at constant velocity (test double)."""
+
+    def __init__(self, sim: Simulator, start: Vec2, velocity: Vec2) -> None:
+        self._sim = sim
+        self._start = start
+        self._velocity = velocity
+
+    def position(self) -> Vec2:
+        return self._start + self._velocity * self._sim.now
+
+    def velocity(self) -> Vec2:
+        return self._velocity
+
+
+def build_static_network(
+    positions: Sequence[Tuple[float, float]],
+    protocol: Optional[str] = None,
+    comm_range: float = 250.0,
+    seed: int = 1,
+    velocities: Optional[Sequence[Tuple[float, float]]] = None,
+    protocol_config: Optional[ProtocolConfig] = None,
+    road_graph: Optional[RoadGraph] = None,
+    rsu_positions: Iterable[Tuple[float, float]] = (),
+    trace: bool = False,
+):
+    """Build a network of nodes at fixed positions (or constant velocities).
+
+    Returns ``(sim, network, stats, nodes)``.  When ``protocol`` is given the
+    corresponding protocol is attached to every node and the network is ready
+    to ``start()``.
+    """
+    sim = Simulator(seed=seed)
+    stats = StatsCollector()
+    event_trace = EventTrace(enabled=trace, max_records=100_000)
+    medium = WirelessMedium(
+        sim,
+        propagation=UnitDiskPropagation(comm_range),
+        reception=SnrThresholdReception(),
+        stats=stats,
+        trace=event_trace,
+    )
+    network = Network(sim, medium=medium, stats=stats, trace=event_trace)
+    nodes: List[Node] = []
+    for index, (x, y) in enumerate(positions):
+        if velocities is not None:
+            provider = LinearMotionProvider(sim, Vec2(x, y), Vec2(*velocities[index]))
+        else:
+            provider = StaticPositionProvider(Vec2(x, y))
+        nodes.append(network.add_vehicle(provider))
+    for x, y in rsu_positions:
+        network.add_rsu(Vec2(x, y))
+    if protocol is not None:
+        factory = make_protocol_factory(
+            protocol, config=protocol_config, road_graph=road_graph
+        )
+        network.attach_protocols(factory)
+    return sim, network, stats, nodes
+
+
+def line_positions(count: int, spacing: float, y: float = 0.0) -> List[Tuple[float, float]]:
+    """Positions of ``count`` nodes in a straight line with ``spacing`` metres between them."""
+    return [(i * spacing, y) for i in range(count)]
+
+
+def run_data_flow(
+    sim: Simulator,
+    stats: StatsCollector,
+    source: Node,
+    destination: Node,
+    packets: int = 5,
+    interval: float = 1.0,
+    start: float = 1.0,
+    until: float = 30.0,
+    flow_id: int = 1,
+) -> None:
+    """Schedule a CBR flow from ``source`` to ``destination`` and run the simulation."""
+    stats.register_flow(flow_id, source.node_id, destination.node_id)
+    for seq in range(packets):
+        sim.schedule_at(
+            start + seq * interval,
+            lambda s=seq: source.protocol.send_data(
+                destination.node_id, flow_id=flow_id, seq=s + 1
+            ),
+        )
+    sim.run(until=until)

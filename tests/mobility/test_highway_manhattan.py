@@ -1,0 +1,179 @@
+"""Tests for the highway and Manhattan mobility models."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.mobility.generator import (
+    TrafficDensity,
+    make_highway_scenario,
+    make_manhattan_scenario,
+    make_random_waypoint_scenario,
+)
+from repro.mobility.highway import HighwayConfig, HighwayMobility
+from repro.mobility.manhattan import ManhattanConfig, ManhattanMobility
+from repro.mobility.random_waypoint import RandomWaypointConfig, RandomWaypointMobility
+
+
+class TestHighwayGeometry:
+    def test_lane_direction_and_heading(self):
+        highway = HighwayMobility(HighwayConfig(lanes_per_direction=2, bidirectional=True))
+        assert highway.lane_direction(0) == 1
+        assert highway.lane_direction(1) == 1
+        assert highway.lane_direction(2) == -1
+        assert highway.lane_heading(0) == 0.0
+        assert highway.lane_heading(3) == pytest.approx(math.pi)
+
+    def test_lane_y_offsets_increase(self):
+        config = HighwayConfig(lanes_per_direction=2, lane_width_m=3.5, median_width_m=10.0)
+        highway = HighwayMobility(config)
+        ys = [highway.lane_y(lane) for lane in range(config.total_lanes)]
+        assert ys == sorted(ys)
+        assert ys[2] - ys[1] >= config.median_width_m
+
+    def test_invalid_lane_rejected(self):
+        highway = HighwayMobility()
+        with pytest.raises(ValueError):
+            highway.add_vehicle(lane=99, progress=0.0)
+
+
+class TestHighwayDynamics:
+    def test_vehicles_move_forward_in_their_direction(self):
+        highway = HighwayMobility(HighwayConfig(length_m=5000.0), rng=random.Random(1))
+        east = highway.add_vehicle(0, 100.0, speed=30.0)
+        west = highway.add_vehicle(2, 100.0, speed=30.0)
+        x_east, x_west = east.position.x, west.position.x
+        for _ in range(10):
+            highway.step(0.5)
+        assert east.position.x > x_east
+        assert west.position.x < x_west
+
+    def test_ring_wraparound_keeps_progress_in_bounds(self):
+        config = HighwayConfig(length_m=1000.0)
+        highway = HighwayMobility(config, rng=random.Random(1))
+        vehicle = highway.add_vehicle(0, 990.0, speed=30.0)
+        for _ in range(10):
+            highway.step(1.0)
+        assert 0.0 <= vehicle.route_progress < config.length_m
+        assert 0.0 <= vehicle.position.x <= config.length_m
+
+    def test_follower_does_not_crash_into_leader(self):
+        highway = HighwayMobility(HighwayConfig(length_m=2000.0, lanes_per_direction=1,
+                                                bidirectional=False),
+                                  rng=random.Random(1))
+        leader = highway.add_vehicle(0, 60.0, speed=10.0, desired_speed=10.0)
+        follower = highway.add_vehicle(0, 0.0, speed=33.0, desired_speed=33.0)
+        for _ in range(200):
+            highway.step(0.2)
+            gap = (leader.route_progress - follower.route_progress) % 2000.0
+            assert gap > 1.0
+
+    def test_speeds_stay_non_negative_and_bounded(self):
+        highway = make_highway_scenario(TrafficDensity.CONGESTED, seed=3, max_vehicles=60)
+        for _ in range(60):
+            highway.step(0.5)
+        for vehicle in highway.vehicles:
+            assert vehicle.speed >= 0.0
+            assert vehicle.speed < 60.0
+
+    def test_lane_changes_happen_under_pressure(self):
+        config = HighwayConfig(length_m=1000.0, lanes_per_direction=2, bidirectional=False)
+        highway = HighwayMobility(config, rng=random.Random(2))
+        # A slow convoy in lane 0 and one fast vehicle stuck behind it.
+        for i in range(5):
+            highway.add_vehicle(0, 200.0 + i * 30.0, speed=8.0, desired_speed=8.0)
+        fast = highway.add_vehicle(0, 100.0, speed=30.0, desired_speed=33.0)
+        lanes_seen = {fast.lane}
+        for _ in range(240):
+            highway.step(0.25)
+            lanes_seen.add(fast.lane)
+        assert 1 in lanes_seen
+
+
+class TestManhattan:
+    def test_vehicles_stay_on_streets(self):
+        config = ManhattanConfig(blocks_x=3, blocks_y=3, block_size_m=200.0)
+        mobility = make_manhattan_scenario(TrafficDensity.NORMAL, config=config, seed=2)
+        for _ in range(120):
+            mobility.step(0.5)
+        for vehicle in mobility.vehicles:
+            x, y = vehicle.position.x, vehicle.position.y
+            assert -1e-6 <= x <= config.width_m + 1e-6
+            assert -1e-6 <= y <= config.height_m + 1e-6
+            on_vertical = min(x % config.block_size_m, config.block_size_m - (x % config.block_size_m)) < 1.0
+            on_horizontal = min(y % config.block_size_m, config.block_size_m - (y % config.block_size_m)) < 1.0
+            assert on_vertical or on_horizontal
+
+    def test_vehicles_actually_move(self):
+        mobility = ManhattanMobility(ManhattanConfig(), rng=random.Random(5))
+        vehicle = mobility.add_vehicle(position=Vec2(200.0, 200.0))
+        start = vehicle.position
+        for _ in range(20):
+            mobility.step(1.0)
+        assert start.distance_to(vehicle.position) > 50.0
+
+    def test_headings_are_axis_aligned(self):
+        mobility = make_manhattan_scenario(TrafficDensity.SPARSE, seed=1)
+        for _ in range(40):
+            mobility.step(0.5)
+        for vehicle in mobility.vehicles:
+            angle = vehicle.heading % (math.pi / 2.0)
+            assert min(angle, math.pi / 2.0 - angle) < 1e-6
+
+
+class TestRandomWaypoint:
+    def test_nodes_stay_in_area(self):
+        config = RandomWaypointConfig(width_m=500.0, height_m=400.0)
+        mobility = RandomWaypointMobility(config, rng=random.Random(1))
+        for _ in range(20):
+            mobility.add_vehicle()
+        for _ in range(200):
+            mobility.step(1.0)
+        for vehicle in mobility.vehicles:
+            assert 0.0 <= vehicle.position.x <= config.width_m
+            assert 0.0 <= vehicle.position.y <= config.height_m
+
+    def test_pause_time_halts_movement_at_waypoint(self):
+        config = RandomWaypointConfig(width_m=100.0, height_m=100.0, pause_time_s=1000.0,
+                                      min_speed_mps=50.0, max_speed_mps=50.0)
+        mobility = RandomWaypointMobility(config, rng=random.Random(3))
+        vehicle = mobility.add_vehicle(position=Vec2(50, 50))
+        for step in range(100):
+            mobility.step(1.0, now=float(step))
+        # After reaching its first waypoint the node pauses (speed 0).
+        assert vehicle.speed == 0.0
+
+
+class TestGenerators:
+    def test_density_ordering_of_population(self):
+        sparse = make_highway_scenario(TrafficDensity.SPARSE, seed=1)
+        normal = make_highway_scenario(TrafficDensity.NORMAL, seed=1)
+        congested = make_highway_scenario(TrafficDensity.CONGESTED, seed=1)
+        assert len(sparse.vehicles) < len(normal.vehicles) < len(congested.vehicles)
+
+    def test_max_vehicles_cap_is_respected(self):
+        capped = make_highway_scenario(TrafficDensity.CONGESTED, seed=1, max_vehicles=50)
+        assert len(capped.vehicles) == 50
+
+    def test_congested_traffic_is_slower_on_average(self):
+        sparse = make_highway_scenario(TrafficDensity.SPARSE, seed=2)
+        congested = make_highway_scenario(TrafficDensity.CONGESTED, seed=2, max_vehicles=200)
+        mean_desired = lambda m: sum(v.desired_speed for v in m.vehicles) / len(m.vehicles)
+        assert mean_desired(congested) < mean_desired(sparse)
+
+    def test_manhattan_generator_population_scales(self):
+        sparse = make_manhattan_scenario(TrafficDensity.SPARSE, seed=1)
+        congested = make_manhattan_scenario(TrafficDensity.CONGESTED, seed=1)
+        assert len(sparse.vehicles) < len(congested.vehicles)
+
+    def test_random_waypoint_generator(self):
+        mobility = make_random_waypoint_scenario(count=17, seed=4)
+        assert len(mobility.vehicles) == 17
+
+    def test_same_seed_reproduces_population(self):
+        a = make_highway_scenario(TrafficDensity.NORMAL, seed=9)
+        b = make_highway_scenario(TrafficDensity.NORMAL, seed=9)
+        assert [v.position for v in a.vehicles] == [v.position for v in b.vehicles]
+        assert [v.desired_speed for v in a.vehicles] == [v.desired_speed for v in b.vehicles]

@@ -1,0 +1,91 @@
+"""Tests for the IDM car-following law and MOBIL lane changes."""
+
+import math
+
+import pytest
+
+from repro.mobility.idm import IdmParameters, desired_gap, free_flow_acceleration, idm_acceleration
+from repro.mobility.lane_change import MobilParameters, should_change_lane
+from repro.mobility.vehicle import VehicleState
+from repro.geometry import Vec2
+
+
+class TestIdm:
+    def test_free_road_accelerates_toward_desired_speed(self):
+        acc = idm_acceleration(speed=10.0, desired_speed=30.0, gap=math.inf, approach_rate=0.0)
+        assert acc > 0
+
+    def test_at_desired_speed_no_acceleration(self):
+        acc = free_flow_acceleration(30.0, 30.0)
+        assert acc == pytest.approx(0.0, abs=1e-9)
+
+    def test_above_desired_speed_decelerates(self):
+        assert free_flow_acceleration(35.0, 30.0) < 0
+
+    def test_small_gap_forces_braking(self):
+        acc = idm_acceleration(speed=30.0, desired_speed=30.0, gap=5.0, approach_rate=0.0)
+        assert acc < -1.0
+
+    def test_closing_fast_brakes_harder_than_steady(self):
+        steady = idm_acceleration(20.0, 30.0, gap=40.0, approach_rate=0.0)
+        closing = idm_acceleration(20.0, 30.0, gap=40.0, approach_rate=10.0)
+        assert closing < steady
+
+    def test_braking_is_bounded(self):
+        params = IdmParameters()
+        acc = idm_acceleration(40.0, 30.0, gap=0.5, approach_rate=20.0, params=params)
+        assert acc >= -2.5 * params.comfortable_deceleration
+
+    def test_desired_gap_grows_with_speed(self):
+        params = IdmParameters()
+        assert desired_gap(30.0, 0.0, params) > desired_gap(10.0, 0.0, params)
+
+    def test_desired_gap_at_standstill_is_minimum_gap(self):
+        params = IdmParameters()
+        assert desired_gap(0.0, 0.0, params) == pytest.approx(params.minimum_gap)
+
+
+def _vehicle(vid, x, speed, desired=30.0, lane=0):
+    state = VehicleState(vid=vid, speed=speed, desired_speed=desired, lane=lane)
+    state.position = Vec2(x, 0.0)
+    return state
+
+
+class TestMobil:
+    def test_change_when_stuck_behind_slow_leader_and_target_free(self):
+        vehicle = _vehicle(1, 0.0, 25.0, desired=33.0)
+        slow_leader = _vehicle(2, 30.0, 15.0)
+        assert should_change_lane(vehicle, slow_leader, None, None)
+
+    def test_no_change_when_current_lane_is_free(self):
+        vehicle = _vehicle(1, 0.0, 30.0, desired=30.0)
+        assert not should_change_lane(vehicle, None, None, None)
+
+    def test_unsafe_change_rejected_for_close_follower(self):
+        vehicle = _vehicle(1, 0.0, 20.0, desired=33.0)
+        slow_leader = _vehicle(2, 25.0, 10.0)
+        fast_follower = _vehicle(3, -6.0, 35.0, desired=35.0)
+        assert not should_change_lane(vehicle, slow_leader, None, fast_follower)
+
+    def test_change_rejected_when_target_lane_is_worse(self):
+        vehicle = _vehicle(1, 0.0, 25.0, desired=33.0)
+        current_leader = _vehicle(2, 120.0, 30.0)
+        target_leader = _vehicle(3, 10.0, 10.0)
+        assert not should_change_lane(vehicle, current_leader, target_leader, None)
+
+    def test_politeness_blocks_selfish_change(self):
+        # The gain from escaping a mildly slower leader is modest, while the
+        # new follower would have to brake noticeably: a selfish driver still
+        # changes, a fully polite one does not.
+        vehicle = _vehicle(1, 0.0, 25.0, desired=33.0)
+        slow_leader = _vehicle(2, 80.0, 22.0)
+        target_follower = _vehicle(3, -70.0, 30.0, desired=33.0)
+        selfish = MobilParameters(politeness=0.0, changing_threshold=0.05)
+        polite = MobilParameters(politeness=1.0, changing_threshold=0.05)
+        selfish_decision = should_change_lane(
+            vehicle, slow_leader, None, target_follower, mobil=selfish
+        )
+        polite_decision = should_change_lane(
+            vehicle, slow_leader, None, target_follower, mobil=polite
+        )
+        assert selfish_decision and not polite_decision

@@ -1,0 +1,132 @@
+"""Tests for vehicle state and FCD trace recording/replay."""
+
+import math
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.mobility.fcd_trace import (
+    FcdSample,
+    TraceReplayMobility,
+    read_fcd_trace,
+    record_fcd_trace,
+    write_fcd_trace,
+)
+from repro.mobility.generator import TrafficDensity, make_highway_scenario
+from repro.mobility.vehicle import (
+    VehiclePositionProvider,
+    VehicleState,
+    relative_speed,
+    same_lane_leader,
+)
+
+
+class TestVehicleState:
+    def test_velocity_from_speed_and_heading(self):
+        vehicle = VehicleState(vid=1, speed=10.0, heading=math.pi / 2.0)
+        assert vehicle.velocity.x == pytest.approx(0.0, abs=1e-9)
+        assert vehicle.velocity.y == pytest.approx(10.0)
+
+    def test_advance_straight_integrates_position_and_speed(self):
+        vehicle = VehicleState(vid=1, speed=10.0, heading=0.0, acceleration=2.0)
+        vehicle.advance_straight(1.0)
+        assert vehicle.speed == pytest.approx(12.0)
+        assert vehicle.position.x == pytest.approx(11.0)  # trapezoidal update
+
+    def test_speed_never_negative(self):
+        vehicle = VehicleState(vid=1, speed=1.0, acceleration=-5.0)
+        vehicle.advance_straight(1.0)
+        assert vehicle.speed == 0.0
+
+    def test_gap_to_accounts_for_vehicle_lengths(self):
+        a = VehicleState(vid=1, position=Vec2(0, 0), length=4.0)
+        b = VehicleState(vid=2, position=Vec2(10, 0), length=6.0)
+        assert a.gap_to(b) == pytest.approx(5.0)
+
+    def test_position_provider_reflects_state(self):
+        vehicle = VehicleState(vid=1, position=Vec2(5, 5), speed=3.0, heading=0.0)
+        provider = VehiclePositionProvider(vehicle)
+        assert provider.position() == Vec2(5, 5)
+        vehicle.position = Vec2(9, 9)
+        assert provider.position() == Vec2(9, 9)
+        assert provider.velocity().x == pytest.approx(3.0)
+
+    def test_relative_speed(self):
+        a = VehicleState(vid=1, speed=30.0, heading=0.0)
+        b = VehicleState(vid=2, speed=30.0, heading=math.pi)
+        assert relative_speed(a, b) == pytest.approx(60.0)
+
+    def test_same_lane_leader_selection(self):
+        me = VehicleState(vid=1, position=Vec2(0, 0), heading=0.0, lane=0)
+        ahead_near = VehicleState(vid=2, position=Vec2(50, 0), lane=0)
+        ahead_far = VehicleState(vid=3, position=Vec2(150, 0), lane=0)
+        behind = VehicleState(vid=4, position=Vec2(-30, 0), lane=0)
+        other_lane = VehicleState(vid=5, position=Vec2(20, 0), lane=1)
+        leader = same_lane_leader(me, [ahead_far, behind, other_lane, ahead_near])
+        assert leader is ahead_near
+
+    def test_same_lane_leader_none_when_lane_empty_ahead(self):
+        me = VehicleState(vid=1, position=Vec2(0, 0), heading=0.0, lane=0)
+        behind = VehicleState(vid=2, position=Vec2(-10, 0), lane=0)
+        assert same_lane_leader(me, [behind]) is None
+
+
+class TestFcdTrace:
+    def test_record_produces_samples_for_every_vehicle_and_step(self):
+        highway = make_highway_scenario(TrafficDensity.SPARSE, seed=1, max_vehicles=10)
+        samples = record_fcd_trace(highway, duration=5.0, dt=1.0)
+        assert len(samples) == 10 * 6  # 6 sampling instants (0..5)
+
+    def test_write_and_read_round_trip(self, tmp_path):
+        samples = [
+            FcdSample(0.0, 1, 0.0, 0.0, 10.0, 0.0),
+            FcdSample(1.0, 1, 10.0, 0.0, 10.0, 0.0),
+            FcdSample(0.0, 2, 5.0, 3.5, 20.0, 0.0),
+        ]
+        path = tmp_path / "trace.csv"
+        write_fcd_trace(path, samples)
+        loaded = read_fcd_trace(path)
+        assert len(loaded) == 3
+        assert {s.vid for s in loaded} == {1, 2}
+        assert loaded[0].speed == pytest.approx(10.0)
+
+    def test_replay_interpolates_between_samples(self):
+        samples = [
+            FcdSample(0.0, 1, 0.0, 0.0, 10.0, 0.0),
+            FcdSample(2.0, 1, 20.0, 0.0, 10.0, 0.0),
+        ]
+        replay = TraceReplayMobility(samples)
+        replay.step(0.0, now=1.0)
+        assert replay.vehicles[0].position.x == pytest.approx(10.0)
+
+    def test_replay_clamps_outside_trace_window(self):
+        samples = [
+            FcdSample(1.0, 1, 5.0, 0.0, 10.0, 0.0),
+            FcdSample(2.0, 1, 15.0, 0.0, 10.0, 0.0),
+        ]
+        replay = TraceReplayMobility(samples)
+        replay.step(0.0, now=0.0)
+        assert replay.vehicles[0].position.x == pytest.approx(5.0)
+        replay.step(0.0, now=99.0)
+        assert replay.vehicles[0].position.x == pytest.approx(15.0)
+
+    def test_replay_matches_recorded_model(self, tmp_path):
+        highway = make_highway_scenario(TrafficDensity.SPARSE, seed=5, max_vehicles=5)
+        samples = record_fcd_trace(highway, duration=10.0, dt=1.0)
+        path = tmp_path / "highway.csv"
+        write_fcd_trace(path, samples)
+        replay = TraceReplayMobility(read_fcd_trace(path))
+        assert len(replay.vehicles) == 5
+        replay.step(0.0, now=10.0)
+        final_by_vid = {s.vid: s for s in samples if s.time == 10.0}
+        for vehicle in replay.vehicles:
+            assert vehicle.position.x == pytest.approx(final_by_vid[vehicle.vid].x, abs=1e-6)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayMobility([])
+
+    def test_record_rejects_bad_interval(self):
+        highway = make_highway_scenario(TrafficDensity.SPARSE, seed=1, max_vehicles=2)
+        with pytest.raises(ValueError):
+            record_fcd_trace(highway, duration=1.0, dt=0.0)

@@ -1,0 +1,85 @@
+"""Property-based tests for the mobility models' physical invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.generator import TrafficDensity, make_highway_scenario, make_manhattan_scenario
+from repro.mobility.highway import HighwayConfig, HighwayMobility
+from repro.mobility.idm import IdmParameters, idm_acceleration
+
+densities = st.sampled_from(list(TrafficDensity))
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestIdmProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=5.0, max_value=45.0),
+        st.floats(min_value=0.5, max_value=500.0),
+        st.floats(min_value=-30.0, max_value=30.0),
+    )
+    def test_acceleration_is_bounded(self, speed, desired, gap, approach):
+        params = IdmParameters()
+        acceleration = idm_acceleration(speed, desired, gap, approach, params)
+        assert -2.5 * params.comfortable_deceleration <= acceleration <= params.max_acceleration
+
+    @given(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=5.0, max_value=40.0),
+        st.floats(min_value=1.0, max_value=400.0),
+    )
+    def test_smaller_gap_never_increases_acceleration(self, speed, desired, gap):
+        wide = idm_acceleration(speed, desired, gap * 2.0, 0.0)
+        tight = idm_acceleration(speed, desired, gap, 0.0)
+        assert tight <= wide + 1e-9
+
+
+class TestHighwayInvariants:
+    @given(densities, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_positions_and_speeds_stay_physical(self, density, seed):
+        config = HighwayConfig(length_m=1500.0)
+        highway = make_highway_scenario(density, config=config, seed=seed, max_vehicles=40)
+        for _ in range(30):
+            highway.step(0.5)
+        lane_ys = {highway.lane_y(lane) for lane in range(config.total_lanes)}
+        for vehicle in highway.vehicles:
+            assert 0.0 <= vehicle.route_progress < config.length_m
+            assert 0.0 <= vehicle.position.x <= config.length_m
+            assert vehicle.speed >= 0.0
+            assert vehicle.speed < 70.0
+            # Vehicles sit exactly on a lane centreline.
+            assert any(abs(vehicle.position.y - y) < 1e-6 for y in lane_ys)
+            assert vehicle.heading in (0.0, math.pi) or math.isclose(
+                vehicle.heading, math.pi
+            )
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_vehicle_count_is_preserved_by_stepping(self, seed):
+        highway = make_highway_scenario(TrafficDensity.NORMAL, seed=seed, max_vehicles=30)
+        before = len(highway.vehicles)
+        vids_before = {v.vid for v in highway.vehicles}
+        for _ in range(20):
+            highway.step(0.5)
+        assert len(highway.vehicles) == before
+        assert {v.vid for v in highway.vehicles} == vids_before
+
+
+class TestManhattanInvariants:
+    @given(densities, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_vehicles_remain_on_the_street_grid(self, density, seed):
+        mobility = make_manhattan_scenario(density, seed=seed, max_vehicles=25)
+        config = mobility.config
+        for _ in range(40):
+            mobility.step(0.5)
+        for vehicle in mobility.vehicles:
+            x, y = vehicle.position.x, vehicle.position.y
+            assert -1e-6 <= x <= config.width_m + 1e-6
+            assert -1e-6 <= y <= config.height_m + 1e-6
+            off_vertical = min(x % config.block_size_m, config.block_size_m - (x % config.block_size_m))
+            off_horizontal = min(y % config.block_size_m, config.block_size_m - (y % config.block_size_m))
+            assert off_vertical < 1.0 or off_horizontal < 1.0

@@ -1,0 +1,146 @@
+"""Tests for the geographic protocols (Greedy, Zone, Grid-Gateway)."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.protocols.geographic import GreedyConfig, GreedyProtocol, ZoneConfig
+from tests.helpers import build_static_network, line_positions, run_data_flow
+
+SPACING = 200.0
+
+
+def _line_network(count, protocol, **kwargs):
+    sim, network, stats, nodes = build_static_network(
+        line_positions(count, SPACING), protocol=protocol, **kwargs
+    )
+    network.start()
+    return sim, network, stats, nodes
+
+
+class TestGreedy:
+    def test_multi_hop_delivery(self):
+        sim, network, stats, nodes = _line_network(5, "Greedy")
+        run_data_flow(sim, stats, nodes[0], nodes[4], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+        assert stats.flows[1].mean_hops >= 4
+
+    def test_no_flooding_of_data(self):
+        sim, network, stats, nodes = _line_network(5, "Greedy")
+        run_data_flow(sim, stats, nodes[0], nodes[4], packets=5, start=2.0, until=25.0)
+        # Unicast chain: at most one transmission per link per packet (plus
+        # MAC retries), nowhere near the one-per-node cost of flooding.
+        assert stats.data_transmissions <= 5 * 6
+
+    def test_select_next_hop_maximises_progress(self):
+        sim, network, stats, nodes = _line_network(4, "Greedy")
+        sim.run(until=3.0)  # let beacons populate the neighbour tables
+        protocol: GreedyProtocol = nodes[0].protocol
+        destination_position = nodes[3].position
+        chosen = protocol.select_next_hop(nodes[3].node_id, destination_position)
+        assert chosen == nodes[1].node_id  # the only forward neighbour in range
+
+    def test_local_maximum_triggers_carry_when_enabled(self):
+        # A gap larger than radio range right after node 1: greedy gets stuck.
+        positions = [(0, 0), (200, 0), (900, 0)]
+        sim, network, stats, nodes = build_static_network(positions, protocol="Greedy")
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[2], packets=2, start=2.0, until=15.0)
+        assert stats.delivery_ratio == 0.0
+        assert stats.store_carry_events >= 1
+
+    def test_local_maximum_drops_when_carry_disabled(self):
+        config = GreedyConfig(carry_on_local_maximum=False)
+        positions = [(0, 0), (200, 0), (900, 0)]
+        sim, network, stats, nodes = build_static_network(
+            positions, protocol="Greedy", protocol_config=config
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[2], packets=2, start=2.0, until=15.0)
+        assert stats.no_route_drops >= 1
+        assert stats.store_carry_events == 0
+
+    def test_beacon_overhead_accrues_even_without_traffic(self):
+        sim, network, stats, nodes = _line_network(5, "Greedy")
+        sim.run(until=10.0)
+        assert stats.beacon_transmissions >= 5 * 8  # ~2 Hz per node for 10 s
+        assert stats.discovery_transmissions == 0
+
+
+class TestZone:
+    def test_corridor_flood_delivers(self):
+        sim, network, stats, nodes = _line_network(5, "Zone")
+        run_data_flow(sim, stats, nodes[0], nodes[4], packets=5, until=20.0)
+        assert stats.delivery_ratio == 1.0
+
+    def test_nodes_outside_corridor_do_not_rebroadcast(self):
+        # A line of on-corridor nodes plus two far off-corridor nodes that can
+        # hear the flood but must stay silent.
+        positions = line_positions(4, SPACING) + [(300.0, 500.0), (100.0, -500.0)]
+        sim, network, stats, nodes = build_static_network(
+            positions, protocol="Zone", protocol_config=ZoneConfig(corridor_width_m=300.0)
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[3], packets=1, until=10.0)
+        assert stats.delivery_ratio == 1.0
+        # Transmissions: at most the 4 corridor nodes (source + relays), never 6.
+        assert stats.data_transmissions <= 4
+
+    def test_zone_cheaper_than_unrestricted_flooding(self):
+        # Off-corridor nodes sit 200 m to the side: within radio range of the
+        # corridor (so flooding recruits them) but outside a 120 m corridor.
+        positions = line_positions(5, SPACING) + [
+            (200.0, 200.0),
+            (400.0, 200.0),
+            (600.0, 200.0),
+        ]
+
+        def run_with(protocol, config=None):
+            sim, network, stats, nodes = build_static_network(
+                positions, protocol=protocol, protocol_config=config
+            )
+            network.start()
+            run_data_flow(sim, stats, nodes[0], nodes[4], packets=3, until=15.0)
+            return stats
+
+        zone_stats = run_with("Zone", ZoneConfig(corridor_width_m=120.0))
+        flood_stats = run_with("Flooding")
+        assert zone_stats.delivery_ratio == 1.0
+        assert zone_stats.data_transmissions < flood_stats.data_transmissions
+
+    def test_unknown_destination_position_is_a_drop(self):
+        sim, network, stats, nodes = _line_network(2, "Zone")
+        stats.register_flow(1, nodes[0].node_id, 999)
+        sim.schedule_at(1.0, lambda: nodes[0].protocol.send_data(999, flow_id=1, seq=1))
+        sim.run(until=5.0)
+        assert stats.no_route_drops == 1
+
+
+class TestGridGateway:
+    def test_multi_hop_delivery(self):
+        sim, network, stats, nodes = _line_network(5, "Grid-Gateway")
+        run_data_flow(sim, stats, nodes[0], nodes[4], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+    def test_gateway_election_is_unique_per_cell(self):
+        # Three nodes in the same 250 m cell: exactly one considers itself gateway.
+        positions = [(10, 10), (60, 10), (110, 10)]
+        sim, network, stats, nodes = build_static_network(positions, protocol="Grid-Gateway")
+        network.start()
+        sim.run(until=3.0)
+        gateway_flags = [node.protocol.is_gateway() for node in nodes]
+        assert sum(gateway_flags) == 1
+
+    def test_gateway_is_node_closest_to_cell_centre(self):
+        positions = [(10, 10), (120, 120), (200, 200)]
+        sim, network, stats, nodes = build_static_network(positions, protocol="Grid-Gateway")
+        network.start()
+        sim.run(until=3.0)
+        # Cell is 250 m: its centre is (125, 125); the middle node wins.
+        assert nodes[1].protocol.is_gateway()
+        assert not nodes[0].protocol.is_gateway()
+
+    def test_isolated_node_is_its_own_gateway(self):
+        sim, network, stats, nodes = build_static_network([(10, 10)], protocol="Grid-Gateway")
+        network.start()
+        sim.run(until=2.0)
+        assert nodes[0].protocol.is_gateway()

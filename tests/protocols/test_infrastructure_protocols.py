@@ -1,0 +1,144 @@
+"""Tests for the infrastructure-based protocols (RSU relay, bus ferry)."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.protocols.infrastructure import BusFerryConfig, RsuRelayConfig
+from repro.sim.node import NodeKind, StaticPositionProvider
+from tests.helpers import build_static_network, line_positions, run_data_flow
+
+
+class TestRsuRelay:
+    def test_disconnected_vehicles_bridged_by_rsus(self):
+        # Two vehicles 1 km apart (out of radio range) but each within range
+        # of an RSU; the RSUs are joined by the wired backbone.
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (1000, 0)],
+            protocol="RSU-Relay",
+            rsu_positions=[(100, 0), (900, 0)],
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[1], packets=5, start=3.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+        assert stats.backbone_transmissions > 0
+
+    def test_without_rsus_disconnected_vehicles_cannot_communicate(self):
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (1000, 0)], protocol="RSU-Relay"
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[1], packets=5, start=3.0, until=25.0)
+        assert stats.delivery_ratio == 0.0
+
+    def test_direct_neighbour_bypasses_infrastructure(self):
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (150, 0)], protocol="RSU-Relay", rsu_positions=[(75, 0)]
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[1], packets=5, start=3.0, until=20.0)
+        assert stats.delivery_ratio >= 0.8
+        assert stats.backbone_transmissions <= len(network.rsus)  # registrations only
+
+    def test_rsu_registration_synchronised_over_backbone(self):
+        sim, network, stats, nodes = build_static_network(
+            [(100, 0)], protocol="RSU-Relay", rsu_positions=[(100, 30), (2000, 30)]
+        )
+        network.start()
+        sim.run(until=5.0)
+        far_rsu = network.rsus[1]
+        assert nodes[0].node_id in far_rsu.protocol.registry
+
+    def test_rsu_buffers_for_unknown_destination(self):
+        # The destination is out of everyone's range: the serving RSU buffers
+        # the packet (store events counted) instead of silently dropping it.
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (5000, 0)], protocol="RSU-Relay", rsu_positions=[(100, 0)]
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[1], packets=2, start=3.0, until=20.0)
+        assert stats.store_carry_events >= 1
+        assert stats.delivery_ratio == 0.0
+
+    def test_greedy_fallback_can_be_disabled(self):
+        config = RsuRelayConfig(greedy_fallback=False)
+        sim, network, stats, nodes = build_static_network(
+            line_positions(3, 200.0), protocol="RSU-Relay", protocol_config=config
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[2], packets=3, start=3.0, until=20.0)
+        # Two hops are needed but there is no RSU and greedy fallback is off.
+        assert stats.delivery_ratio == 0.0
+        assert stats.no_route_drops >= 1
+
+    def test_vehicle_to_vehicle_multihop_with_greedy_fallback(self):
+        sim, network, stats, nodes = build_static_network(
+            line_positions(4, 200.0), protocol="RSU-Relay"
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[3], packets=5, start=3.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+
+class TestBusFerry:
+    def test_bus_carries_packet_between_disconnected_clusters(self):
+        # Source at x=0, destination at x=2000 (never in radio contact).  A
+        # bus shuttles between them and ferries the packet.
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (2000, 0)], protocol="Bus-Ferry"
+        )
+        bus_provider_state = {"direction": 1}
+
+        class ShuttleProvider:
+            def __init__(self, sim):
+                self.sim = sim
+
+            def position(self):
+                # Triangle wave between x=0 and x=2000 with period 80 s.
+                t = self.sim.now % 80.0
+                x = 50.0 * t if t <= 40.0 else 50.0 * (80.0 - t)
+                return Vec2(x, 0.0)
+
+            def velocity(self):
+                t = self.sim.now % 80.0
+                return Vec2(50.0 if t <= 40.0 else -50.0, 0.0)
+
+        bus = network.add_bus(ShuttleProvider(sim))
+        from repro.protocols.registry import make_protocol_factory
+
+        bus.attach_protocol(make_protocol_factory("Bus-Ferry")(bus))
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[1], packets=3, start=2.0, until=120.0)
+        assert stats.delivery_ratio >= 0.6
+        assert stats.store_carry_events >= 1
+        # Store-carry-forward trades delay for delivery: latency is seconds,
+        # not milliseconds.
+        assert stats.mean_delay > 1.0
+
+    def test_connected_line_delivers_without_buses(self):
+        sim, network, stats, nodes = build_static_network(
+            line_positions(4, 200.0), protocol="Bus-Ferry"
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[3], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+    def test_car_buffer_is_much_smaller_than_bus_buffer(self):
+        sim, network, stats, nodes = build_static_network([(0, 0)], protocol="Bus-Ferry")
+        car_protocol = nodes[0].protocol
+        assert car_protocol.buffer_capacity == car_protocol.config.car_buffer_capacity
+        bus = network.add_bus(StaticPositionProvider(Vec2(10, 0)))
+        from repro.protocols.registry import make_protocol_factory
+
+        bus.attach_protocol(make_protocol_factory("Bus-Ferry")(bus))
+        assert bus.protocol.is_bus
+        assert bus.protocol.buffer_capacity > car_protocol.buffer_capacity
+
+    def test_buffer_overflow_is_counted(self):
+        config = BusFerryConfig(car_buffer_capacity=2)
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (5000, 0)], protocol="Bus-Ferry", protocol_config=config
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[1], packets=6, start=1.0, interval=0.2, until=10.0)
+        assert stats.buffer_drops >= 1
+        assert stats.store_carry_events >= 2

@@ -1,0 +1,187 @@
+"""Tests for the mobility-based protocols (PBR, Taleb, Abedi, Wedde)."""
+
+import math
+
+import pytest
+
+from repro.core.direction import direction_group
+from repro.geometry import Vec2
+from repro.protocols.mobility_based import PbrConfig, PbrProtocol, TalebProtocol, WeddeProtocol
+from tests.helpers import build_static_network, line_positions, run_data_flow
+
+SPACING = 200.0
+
+
+def _line_network(count, protocol, velocities=None, **kwargs):
+    sim, network, stats, nodes = build_static_network(
+        line_positions(count, SPACING), protocol=protocol, velocities=velocities, **kwargs
+    )
+    network.start()
+    return sim, network, stats, nodes
+
+
+class TestPbr:
+    def test_delivery_over_static_line(self):
+        sim, network, stats, nodes = _line_network(5, "PBR")
+        run_data_flow(sim, stats, nodes[0], nodes[4], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+    def test_link_metric_is_predicted_lifetime(self):
+        sim, network, stats, nodes = _line_network(2, "PBR")
+        protocol: PbrProtocol = nodes[0].protocol
+        # Previous hop 150 m away moving identically: infinite predicted lifetime.
+        same = protocol.link_metric(Vec2(150, 0), Vec2(20, 0), Vec2(0, 0), Vec2(20, 0), {})
+        # Opposite directions at 40 m/s relative: short predicted lifetime.
+        opposite = protocol.link_metric(Vec2(150, 0), Vec2(20, 0), Vec2(0, 0), Vec2(-20, 0), {})
+        assert same == math.inf
+        assert 0.0 < opposite < 15.0
+
+    def test_links_below_minimum_lifetime_are_rated_zero(self):
+        config = PbrConfig(min_acceptable_lifetime_s=5.0)
+        sim, network, stats, nodes = build_static_network(
+            line_positions(2, SPACING), protocol="PBR", protocol_config=config
+        )
+        protocol: PbrProtocol = nodes[0].protocol
+        # 240 m apart and separating fast: lifetime well under 5 s.
+        metric = protocol.link_metric(Vec2(240, 0), Vec2(30, 0), Vec2(0, 0), Vec2(-30, 0), {})
+        assert metric == 0.0
+
+    def test_path_score_prefers_longer_lifetime_then_fewer_hops(self):
+        sim, network, stats, nodes = _line_network(2, "PBR")
+        protocol: PbrProtocol = nodes[0].protocol
+        assert protocol.path_score(10.0, [1, 2]) > protocol.path_score(5.0, [1, 2])
+        assert protocol.path_score(10.0, [1, 2]) > protocol.path_score(10.0, [1, 2, 3, 4])
+
+    def test_moving_pair_route_has_finite_expiry_and_repairs(self):
+        # Source and destination drive in opposite directions, so the
+        # discovered route has a short predicted lifetime and the source
+        # schedules a preemptive rebuild before it expires.
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (150, 0)],
+            protocol="PBR",
+            velocities=[(15, 0), (-15, 0)],
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[1], packets=3, start=1.0, interval=0.5, until=12.0)
+        source_protocol = nodes[0].protocol
+        assert stats.delivery_ratio > 0.5
+        # The route installed for the destination must not be trusted forever.
+        route = source_protocol.routes.get(nodes[1].node_id)
+        if route is not None:
+            assert math.isfinite(route.expires_at)
+
+
+class TestTaleb:
+    def test_group_tagging_follows_velocity(self):
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (100, 0)], protocol="Taleb", velocities=[(20, 0), (0, 20)]
+        )
+        protocols = [node.protocol for node in nodes]
+        assert protocols[0]._own_group_tag() == direction_group(Vec2(20, 0)).value
+        assert protocols[1]._own_group_tag() == direction_group(Vec2(0, 20)).value
+
+    def test_same_group_links_get_bonus(self):
+        sim, network, stats, nodes = _line_network(2, "Taleb")
+        protocol: TalebProtocol = nodes[0].protocol
+        same = protocol.link_metric(Vec2(100, 0), Vec2(20, 0), Vec2(0, 0), Vec2(22, 0), {})
+        cross = protocol.link_metric(Vec2(100, 0), Vec2(20, 0), Vec2(0, 0), Vec2(0.1, 22), {})
+        assert same > cross
+
+    def test_different_group_forwarding_is_probabilistic(self):
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (100, 0)], protocol="Taleb", velocities=[(20, 0), (20, 0)]
+        )
+        protocol: TalebProtocol = nodes[0].protocol
+        same_group_headers = {"origin_group": protocol._own_group_tag()}
+        other_group_headers = {"origin_group": "north"}
+        assert protocol.should_forward_request(same_group_headers, 1)
+        decisions = [
+            protocol.should_forward_request(other_group_headers, 1) for _ in range(300)
+        ]
+        fraction = sum(decisions) / len(decisions)
+        assert 0.05 < fraction < 0.6
+
+    def test_delivery_on_static_line(self):
+        sim, network, stats, nodes = _line_network(4, "Taleb")
+        run_data_flow(sim, stats, nodes[0], nodes[3], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+
+class TestAbedi:
+    def test_metric_prefers_same_direction_neighbours(self):
+        sim, network, stats, nodes = build_static_network(
+            line_positions(3, SPACING), protocol="Abedi"
+        )
+        protocol = nodes[0].protocol
+        headers = {"target": nodes[2].node_id}
+        same = protocol.link_metric(Vec2(200, 0), Vec2(20, 0), Vec2(0, 0), Vec2(20, 0), headers)
+        opposite = protocol.link_metric(
+            Vec2(200, 0), Vec2(20, 0), Vec2(0, 0), Vec2(-20, 0), headers
+        )
+        assert same > opposite
+
+    def test_metric_is_bounded_unit_interval(self):
+        sim, network, stats, nodes = build_static_network(
+            line_positions(2, SPACING), protocol="Abedi"
+        )
+        protocol = nodes[0].protocol
+        headers = {"target": nodes[1].node_id}
+        for velocity in (Vec2(30, 0), Vec2(-30, 0), Vec2(0, 0), Vec2(0, 30)):
+            value = protocol.link_metric(Vec2(100, 0), Vec2(25, 0), Vec2(0, 0), velocity, headers)
+            assert 0.0 <= value <= 1.0
+
+    def test_route_lifetime_mapping_monotone(self):
+        sim, network, stats, nodes = build_static_network(
+            line_positions(2, SPACING), protocol="Abedi"
+        )
+        protocol = nodes[0].protocol
+        assert protocol._route_lifetime_from_metric(0.9) > protocol._route_lifetime_from_metric(0.1)
+        assert protocol._route_lifetime_from_metric(1.0) <= protocol.config.route_lifetime_cap_s
+
+    def test_delivery_on_static_line(self):
+        sim, network, stats, nodes = _line_network(4, "Abedi")
+        run_data_flow(sim, stats, nodes[0], nodes[3], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+
+class TestWedde:
+    def test_rating_zero_with_no_neighbors(self):
+        sim, network, stats, nodes = build_static_network([(0, 0), (5000, 0)], protocol="Wedde")
+        assert nodes[0].protocol.own_rating() == 0.0
+
+    def test_rating_increases_with_populated_fast_neighbourhood(self):
+        sim, network, stats, nodes = build_static_network(
+            line_positions(6, 100.0), protocol="Wedde",
+            velocities=[(28, 0)] * 6,
+        )
+        network.start()
+        sim.run(until=3.0)
+        rating = nodes[2].protocol.own_rating()
+        assert rating > 0.4
+
+    def test_forwarding_requires_rated_neighbors(self):
+        # Free-flowing traffic (everyone near the free-flow speed) gives the
+        # relay a rating above the threshold, so multi-hop forwarding works.
+        sim, network, stats, nodes = build_static_network(
+            line_positions(3, SPACING), protocol="Wedde",
+            velocities=[(25, 0)] * 3,
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[2], packets=5, start=3.0, until=25.0)
+        assert stats.delivery_ratio >= 0.6
+
+    def test_static_sparse_neighbourhood_rating_below_threshold(self):
+        # Two stationary cars: density and fluidity are both poor, the rating
+        # stays below the forwarding threshold.
+        sim, network, stats, nodes = _line_network(2, "Wedde")
+        sim.run(until=3.0)
+        protocol: WeddeProtocol = nodes[0].protocol
+        assert protocol.own_rating() < protocol.config.rating_threshold
+
+    def test_beacons_carry_the_rating(self):
+        sim, network, stats, nodes = _line_network(3, "Wedde")
+        sim.run(until=3.0)
+        protocol: WeddeProtocol = nodes[1].protocol
+        entries = protocol.beacons.neighbors()
+        assert entries
+        assert all("rating" in entry.extra for entry in entries)

@@ -1,0 +1,177 @@
+"""Tests for the probability-model-based protocols (Yan-TBP, CAR, REAR, GVGrid)."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.protocols.probability import (
+    CarConfig,
+    CarProtocol,
+    GvGridProtocol,
+    RearConfig,
+    RearProtocol,
+    YanTbpConfig,
+)
+from repro.protocols.neighbors import NeighborEntry
+from repro.roadnet.grid import build_highway_graph
+from tests.helpers import build_static_network, line_positions, run_data_flow
+
+SPACING = 200.0
+
+
+def _line_network(count, protocol, **kwargs):
+    sim, network, stats, nodes = build_static_network(
+        line_positions(count, SPACING), protocol=protocol, **kwargs
+    )
+    network.start()
+    return sim, network, stats, nodes
+
+
+class TestYanTbp:
+    def test_delivery_via_selective_probing(self):
+        sim, network, stats, nodes = _line_network(5, "Yan-TBP")
+        run_data_flow(sim, stats, nodes[0], nodes[4], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+    def test_probing_cheaper_than_flooded_discovery(self):
+        """The defining property: probes do not flood the whole network."""
+        positions = line_positions(5, SPACING) + [
+            (200.0, 200.0),
+            (400.0, 200.0),
+            (600.0, 200.0),
+            (800.0, 200.0),
+        ]
+
+        def discovery_cost(protocol):
+            sim, network, stats, nodes = build_static_network(positions, protocol=protocol)
+            network.start()
+            run_data_flow(sim, stats, nodes[0], nodes[4], packets=3, start=2.0, until=20.0)
+            return stats.discovery_transmissions, stats.delivery_ratio
+
+        probe_cost, probe_pdr = discovery_cost("Yan-TBP")
+        flood_cost, flood_pdr = discovery_cost("AODV")
+        assert probe_pdr >= 0.6
+        assert probe_cost < flood_cost
+
+    def test_tickets_bound_probe_fanout(self):
+        config = YanTbpConfig(tickets=1, max_fanout=1)
+        sim, network, stats, nodes = build_static_network(
+            line_positions(4, SPACING), protocol="Yan-TBP", protocol_config=config
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[3], packets=1, start=2.0, until=10.0)
+        probes = stats.control_by_type.get("MREQ", 0)
+        # One ticket -> a single probe chain of at most 3 links (per retry).
+        assert probes <= 3 * 3
+
+    def test_stable_neighbor_ranking_prefers_progress(self):
+        sim, network, stats, nodes = _line_network(3, "Yan-TBP")
+        sim.run(until=3.0)
+        protocol = nodes[1].protocol
+        toward = nodes[2].position
+        ranked = protocol._stable_neighbors(exclude=[], toward=toward)
+        assert ranked
+        assert ranked[0].node_id == nodes[2].node_id
+
+
+class TestRear:
+    def test_receipt_probability_decreases_with_distance(self):
+        sim, network, stats, nodes = _line_network(2, "REAR")
+        protocol: RearProtocol = nodes[0].protocol
+        assert protocol.receipt_probability(50.0) > protocol.receipt_probability(400.0)
+        assert 0.0 <= protocol.receipt_probability(1000.0) <= 1.0
+
+    def test_neighbor_score_prefers_reliable_links(self):
+        sim, network, stats, nodes = _line_network(2, "REAR")
+        protocol: RearProtocol = nodes[0].protocol
+        destination_position = Vec2(1000, 0)
+        near = NeighborEntry(7, Vec2(80, 0), Vec2(0, 0), last_seen=0.0)
+        far = NeighborEntry(8, Vec2(220, 0), Vec2(0, 0), last_seen=0.0)
+        near_score = protocol.neighbor_score(near, 9, destination_position, progress_m=80.0)
+        far_score = protocol.neighbor_score(far, 9, destination_position, progress_m=220.0)
+        assert near_score > far_score
+
+    def test_delivery_on_static_line(self):
+        sim, network, stats, nodes = _line_network(4, "REAR")
+        run_data_flow(sim, stats, nodes[0], nodes[3], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+
+class TestGvGrid:
+    def test_link_reliability_higher_for_co_moving_neighbours(self):
+        from repro.protocols.probability import GvGridConfig
+
+        # A 20 s QoS horizon makes the difference visible: an opposite-direction
+        # neighbour drifts ~1 km relative in that time and the link cannot survive.
+        config = GvGridConfig(qos_horizon_s=20.0)
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (100, 0)], protocol="GVGrid", velocities=[(25, 0), (25, 0)],
+            protocol_config=config,
+        )
+        protocol: GvGridProtocol = nodes[0].protocol
+        same = NeighborEntry(5, Vec2(100, 0), Vec2(25, 0), last_seen=0.0)
+        opposite = NeighborEntry(6, Vec2(100, 0), Vec2(-25, 0), last_seen=0.0)
+        assert protocol.link_reliability(same) > protocol.link_reliability(opposite)
+        assert protocol.link_reliability(opposite) < 0.5
+
+    def test_score_rewards_cell_progress(self):
+        sim, network, stats, nodes = _line_network(2, "GVGrid")
+        protocol: GvGridProtocol = nodes[0].protocol
+        destination_position = Vec2(1000, 0)
+        advancing = NeighborEntry(5, Vec2(200, 0), Vec2(0, 0), last_seen=0.0)
+        lateral = NeighborEntry(6, Vec2(10, 100), Vec2(0, 0), last_seen=0.0)
+        advancing_score = protocol.neighbor_score(advancing, 9, destination_position, 200.0)
+        lateral_score = protocol.neighbor_score(lateral, 9, destination_position, 5.0)
+        assert advancing_score > lateral_score
+
+    def test_delivery_on_static_line(self):
+        sim, network, stats, nodes = _line_network(4, "GVGrid")
+        run_data_flow(sim, stats, nodes[0], nodes[3], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+
+class TestCar:
+    def test_delivery_with_road_graph_anchors(self):
+        graph = build_highway_graph(1000.0, interchange_spacing_m=500.0)
+        sim, network, stats, nodes = build_static_network(
+            line_positions(5, SPACING), protocol="CAR", road_graph=graph
+        )
+        network.start()
+        run_data_flow(sim, stats, nodes[0], nodes[4], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+    def test_delivery_without_road_graph_falls_back_to_greedy(self):
+        sim, network, stats, nodes = _line_network(4, "CAR")
+        run_data_flow(sim, stats, nodes[0], nodes[3], packets=5, start=2.0, until=25.0)
+        assert stats.delivery_ratio >= 0.8
+
+    def test_segment_connectivity_reflects_density(self):
+        graph = build_highway_graph(1000.0, interchange_spacing_m=1000.0)
+        # Densely populated segment.
+        sim, network, stats, nodes = build_static_network(
+            line_positions(12, 80.0), protocol="CAR", road_graph=graph
+        )
+        dense_protocol: CarProtocol = nodes[0].protocol
+        a, b = graph.intersections[0], graph.intersections[1]
+        dense_connectivity = dense_protocol.segment_connectivity(a, b)
+        # Sparsely populated segment.
+        sim2, network2, stats2, nodes2 = build_static_network(
+            [(0, 0), (900, 0)], protocol="CAR", road_graph=build_highway_graph(1000.0, 1000.0)
+        )
+        sparse_protocol: CarProtocol = nodes2[0].protocol
+        graph2 = sparse_protocol.road_graph
+        sparse_connectivity = sparse_protocol.segment_connectivity(
+            graph2.intersections[0], graph2.intersections[1]
+        )
+        assert dense_connectivity > sparse_connectivity
+
+    def test_assumed_density_used_when_measurement_disabled(self):
+        graph = build_highway_graph(1000.0, interchange_spacing_m=1000.0)
+        config = CarConfig(use_measured_density=False, assumed_density_veh_per_km=50.0)
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (900, 0)], protocol="CAR", protocol_config=config, road_graph=graph
+        )
+        protocol: CarProtocol = nodes[0].protocol
+        a, b = graph.intersections[0], graph.intersections[1]
+        # Despite the segment being almost empty, the assumed density yields
+        # a high connectivity estimate (the calibration-mismatch ablation).
+        assert protocol.segment_connectivity(a, b) > 0.5

@@ -1,0 +1,98 @@
+"""Tests for the CSMA/CA MAC layer."""
+
+import pytest
+
+from repro.radio.mac import MacConfig
+from repro.sim.packet import BROADCAST, make_data_packet
+from tests.helpers import build_static_network
+
+
+class NullProtocol:
+    def start(self):  # pragma: no cover - unused
+        pass
+
+    def handle_packet(self, packet, sender_id):
+        pass
+
+
+class TestMacConfig:
+    def test_frame_airtime_scales_with_size(self):
+        config = MacConfig()
+        small = config.frame_airtime(100)
+        large = config.frame_airtime(1000)
+        assert large > small
+        assert small > config.phy_overhead_s
+
+    def test_airtime_formula(self):
+        config = MacConfig(bitrate_bps=1_000_000, phy_overhead_s=0.0)
+        assert config.frame_airtime(125) == pytest.approx(0.001)
+
+
+class TestMacQueueing:
+    def _one_node(self):
+        sim, network, stats, nodes = build_static_network([(0, 0), (100, 0)])
+        for node in nodes:
+            node.attach_protocol(NullProtocol())
+        return sim, stats, nodes
+
+    def test_frames_sent_counter(self):
+        sim, stats, nodes = self._one_node()
+        for _ in range(3):
+            nodes[0].send(make_data_packet("p", 0, BROADCAST), BROADCAST)
+        sim.run(until=1.0)
+        assert nodes[0].mac.frames_sent == 3
+        assert stats.data_transmissions == 3
+
+    def test_queue_overflow_drops_and_counts(self):
+        sim, network, stats, nodes = build_static_network([(0, 0), (100, 0)])
+        for node in nodes:
+            node.attach_protocol(NullProtocol())
+        nodes[0].mac.config = MacConfig(max_queue=2)
+        accepted = []
+        for _ in range(5):
+            accepted.append(
+                nodes[0].mac.enqueue(make_data_packet("p", 0, BROADCAST), BROADCAST)
+            )
+        assert accepted.count(False) == 3
+        assert stats.mac_queue_drops == 3
+
+    def test_transmissions_are_serialised_not_overlapping(self):
+        sim, stats, nodes = self._one_node()
+        for _ in range(5):
+            nodes[0].send(make_data_packet("p", 0, BROADCAST, size_bytes=1000), BROADCAST)
+        sim.run(until=1.0)
+        # All five frames went out and none collided with each other at the
+        # receiver (a node never overlaps its own transmissions).
+        assert nodes[0].mac.frames_sent == 5
+        assert stats.mac_collisions == 0
+
+    def test_carrier_sense_defers_to_ongoing_transmission(self):
+        sim, network, stats, nodes = build_static_network([(0, 0), (100, 0), (200, 0)])
+        for node in nodes:
+            node.attach_protocol(NullProtocol())
+        # Node 0 starts a long frame; node 1 (in carrier-sense range) wants to
+        # send shortly after and must defer at least once.
+        nodes[0].send(make_data_packet("p", 0, BROADCAST, size_bytes=2000), BROADCAST)
+        sim.schedule(0.0005, nodes[1].send, make_data_packet("p", 1, BROADCAST), BROADCAST)
+        sim.run(until=1.0)
+        assert nodes[1].mac.busy_deferrals >= 1
+        assert stats.mac_collisions == 0
+
+    def test_unicast_retry_counters(self):
+        sim, network, stats, nodes = build_static_network([(0, 0), (2000, 0)], comm_range=250.0)
+        for node in nodes:
+            node.attach_protocol(NullProtocol())
+        nodes[0].send(make_data_packet("p", 0, nodes[1].node_id), nodes[1].node_id)
+        sim.run(until=1.0)
+        mac = nodes[0].mac
+        assert mac.unicast_retries == mac.config.max_unicast_retries
+        assert mac.unicast_failures == 1
+
+    def test_successful_unicast_not_retried(self):
+        sim, network, stats, nodes = build_static_network([(0, 0), (100, 0)])
+        for node in nodes:
+            node.attach_protocol(NullProtocol())
+        nodes[0].send(make_data_packet("p", 0, nodes[1].node_id), nodes[1].node_id)
+        sim.run(until=1.0)
+        assert nodes[0].mac.unicast_retries == 0
+        assert stats.data_transmissions == 1

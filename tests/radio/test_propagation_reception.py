@@ -1,0 +1,182 @@
+"""Tests for propagation models, reception decisions and power arithmetic."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.radio.interference import NO_SIGNAL_DBM, combine_dbm, dbm_to_mw, mw_to_dbm
+from repro.radio.propagation import (
+    FreeSpacePropagation,
+    LogNormalShadowing,
+    TwoRayGroundPropagation,
+    UnitDiskPropagation,
+)
+from repro.radio.reception import (
+    ProbabilisticReception,
+    ReceptionDecision,
+    SnrThresholdReception,
+)
+
+ORIGIN = Vec2(0, 0)
+
+
+class TestPowerConversions:
+    def test_round_trip(self):
+        assert mw_to_dbm(dbm_to_mw(17.0)) == pytest.approx(17.0)
+
+    def test_zero_mw_maps_to_no_signal(self):
+        assert mw_to_dbm(0.0) == NO_SIGNAL_DBM
+        assert dbm_to_mw(NO_SIGNAL_DBM) == 0.0
+
+    def test_known_values(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+        assert dbm_to_mw(10.0) == pytest.approx(10.0)
+        assert mw_to_dbm(100.0) == pytest.approx(20.0)
+
+    def test_combining_two_equal_powers_adds_3db(self):
+        assert combine_dbm([10.0, 10.0]) == pytest.approx(13.01, abs=0.01)
+
+    def test_combining_with_no_signal_is_identity(self):
+        assert combine_dbm([7.0, NO_SIGNAL_DBM]) == pytest.approx(7.0)
+
+    def test_combining_empty_is_no_signal(self):
+        assert combine_dbm([]) == NO_SIGNAL_DBM
+
+
+class TestUnitDisk:
+    def test_inside_and_outside_range(self):
+        model = UnitDiskPropagation(250.0)
+        assert model.rx_power_dbm(20.0, ORIGIN, Vec2(249, 0)) == 20.0
+        assert model.rx_power_dbm(20.0, ORIGIN, Vec2(251, 0)) == NO_SIGNAL_DBM
+
+    def test_boundary_is_inclusive(self):
+        model = UnitDiskPropagation(250.0)
+        assert model.rx_power_dbm(20.0, ORIGIN, Vec2(250, 0)) == 20.0
+
+    def test_nominal_range_is_configured_range(self):
+        assert UnitDiskPropagation(180.0).nominal_range(20.0, -92.0) == 180.0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            UnitDiskPropagation(0.0)
+
+
+class TestFreeSpace:
+    def test_power_decreases_with_distance(self):
+        model = FreeSpacePropagation()
+        near = model.rx_power_dbm(20.0, ORIGIN, Vec2(10, 0))
+        far = model.rx_power_dbm(20.0, ORIGIN, Vec2(100, 0))
+        assert near > far
+
+    def test_path_loss_follows_20_db_per_decade(self):
+        model = FreeSpacePropagation()
+        loss_100 = model.path_loss_db(100.0)
+        loss_1000 = model.path_loss_db(1000.0)
+        assert loss_1000 - loss_100 == pytest.approx(20.0, abs=1e-6)
+
+    def test_nominal_range_matches_sensitivity(self):
+        model = FreeSpacePropagation()
+        rng = model.nominal_range(20.0, -92.0)
+        assert model.mean_rx_power_dbm(20.0, rng) == pytest.approx(-92.0, abs=0.1)
+
+
+class TestTwoRayGround:
+    def test_matches_free_space_below_crossover(self):
+        model = TwoRayGroundPropagation()
+        distance = model.crossover_distance / 2.0
+        assert model.path_loss_db(distance) == pytest.approx(
+            model.free_space.path_loss_db(distance)
+        )
+
+    def test_fourth_power_beyond_crossover(self):
+        model = TwoRayGroundPropagation()
+        d = model.crossover_distance * 2.0
+        assert model.path_loss_db(2 * d) - model.path_loss_db(d) == pytest.approx(
+            40.0 * math.log10(2.0), abs=1e-6
+        )
+
+    def test_loses_more_than_free_space_at_long_range(self):
+        model = TwoRayGroundPropagation()
+        distance = model.crossover_distance * 4.0
+        assert model.path_loss_db(distance) > model.free_space.path_loss_db(distance)
+
+
+class TestLogNormalShadowing:
+    def test_mean_power_monotonically_decreasing(self):
+        model = LogNormalShadowing(sigma_db=0.0)
+        powers = [model.mean_rx_power_dbm(20.0, d) for d in (10, 50, 100, 400)]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_zero_sigma_is_deterministic(self):
+        model = LogNormalShadowing(sigma_db=0.0, rng=random.Random(1))
+        a = model.rx_power_dbm(20.0, ORIGIN, Vec2(100, 0))
+        b = model.rx_power_dbm(20.0, ORIGIN, Vec2(100, 0))
+        assert a == b == pytest.approx(model.mean_rx_power_dbm(20.0, 100.0))
+
+    def test_shadowing_spreads_around_mean(self):
+        model = LogNormalShadowing(sigma_db=6.0, rng=random.Random(7))
+        draws = [model.rx_power_dbm(20.0, ORIGIN, Vec2(100, 0)) for _ in range(500)]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(model.mean_rx_power_dbm(20.0, 100.0), abs=1.0)
+        assert max(draws) - min(draws) > 10.0
+
+    def test_link_probability_decreases_with_distance(self):
+        model = LogNormalShadowing(sigma_db=4.0)
+        near = model.link_probability(20.0, -92.0, 50.0)
+        far = model.link_probability(20.0, -92.0, 800.0)
+        assert near > 0.95
+        assert far < 0.5
+        assert 0.0 <= far <= 1.0
+
+    def test_link_probability_half_at_nominal_range(self):
+        model = LogNormalShadowing(sigma_db=4.0)
+        nominal = model.nominal_range(20.0, -92.0)
+        assert model.link_probability(20.0, -92.0, nominal) == pytest.approx(0.5, abs=0.05)
+
+
+class TestSnrThresholdReception:
+    def test_clean_signal_received(self):
+        model = SnrThresholdReception()
+        outcome = model.decide(-60.0, NO_SIGNAL_DBM)
+        assert outcome.ok
+
+    def test_weak_signal_rejected(self):
+        model = SnrThresholdReception(sensitivity_dbm=-92.0)
+        outcome = model.decide(-95.0, NO_SIGNAL_DBM)
+        assert outcome.decision is ReceptionDecision.WEAK_SIGNAL
+
+    def test_strong_interference_causes_collision(self):
+        model = SnrThresholdReception(snr_threshold_db=10.0)
+        outcome = model.decide(-60.0, -62.0)
+        assert outcome.decision is ReceptionDecision.COLLISION
+
+    def test_sinr_computation_includes_noise(self):
+        model = SnrThresholdReception(noise_floor_dbm=-99.0)
+        assert model.sinr_db(-60.0, NO_SIGNAL_DBM) == pytest.approx(39.0, abs=0.1)
+
+
+class TestProbabilisticReception:
+    def test_success_probability_is_monotonic_in_snr(self):
+        model = ProbabilisticReception()
+        weak = model.success_probability(-88.0, NO_SIGNAL_DBM)
+        strong = model.success_probability(-60.0, NO_SIGNAL_DBM)
+        assert strong > weak
+        assert 0.0 <= weak <= strong <= 1.0
+
+    def test_below_sensitivity_never_received(self):
+        model = ProbabilisticReception()
+        assert model.success_probability(-100.0, NO_SIGNAL_DBM) == 0.0
+        outcome = model.decide(-100.0, NO_SIGNAL_DBM, random.Random(1))
+        assert not outcome.ok
+
+    def test_decision_statistics_match_probability(self):
+        model = ProbabilisticReception()
+        rng = random.Random(3)
+        rx_power = -85.0
+        probability = model.success_probability(rx_power, NO_SIGNAL_DBM)
+        successes = sum(
+            1 for _ in range(2000) if model.decide(rx_power, NO_SIGNAL_DBM, rng).ok
+        )
+        assert successes / 2000 == pytest.approx(probability, abs=0.05)

@@ -1,0 +1,144 @@
+"""Tests for the event queue and the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append("c"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(2.0, lambda: order.append("b"))
+        while queue:
+            queue.pop().fire()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self):
+        queue = EventQueue()
+        order = []
+        for label in "abc":
+            queue.push(1.0, lambda l=label: order.append(l))
+        while queue:
+            queue.pop().fire()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties_before_sequence(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("low"), priority=1)
+        queue.push(1.0, lambda: order.append("high"), priority=0)
+        while queue:
+            queue.pop().fire()
+        assert order == ["high", "low"]
+
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append(1))
+        event.cancel()
+        queue.pop().fire()
+        assert fired == []
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == pytest.approx(2.0)
+
+
+class TestSimulator:
+    def test_schedule_and_run_advances_clock(self, sim):
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        end = sim.run()
+        assert times == [pytest.approx(0.5), pytest.approx(1.5)]
+        assert end == pytest.approx(1.5)
+
+    def test_run_until_leaves_later_events_pending(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(2))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == pytest.approx(2.0)
+        sim.run(until=10.0)
+        assert fired == [1, 2]
+
+    def test_cannot_schedule_in_the_past(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_stop_halts_processing(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_nested_scheduling_from_callback(self, sim):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_reset_clears_queue_and_clock(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+
+    def test_max_events_limit(self, sim):
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+
+class TestPeriodicTask:
+    def test_periodic_fires_repeatedly(self, sim):
+        count = []
+        sim.schedule_periodic(1.0, lambda: count.append(sim.now))
+        sim.run(until=5.5)
+        assert len(count) == 5
+
+    def test_periodic_cancel_stops_firing(self, sim):
+        count = []
+        task = sim.schedule_periodic(1.0, lambda: count.append(1))
+        sim.schedule(2.5, task.cancel)
+        sim.run(until=10.0)
+        assert len(count) == 2
+
+    def test_periodic_with_jitter_stays_roughly_periodic(self, sim):
+        times = []
+        sim.schedule_periodic(1.0, lambda: times.append(sim.now), jitter=0.2)
+        sim.run(until=10.0)
+        assert 7 <= len(times) <= 10
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(1.0 <= delta <= 1.4 + 1e-9 for delta in deltas)
+
+    def test_invalid_interval_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(0.0, lambda: None)

@@ -1,0 +1,189 @@
+"""Tests for nodes, the wireless medium and network assembly."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.sim.node import Node, NodeKind, StaticPositionProvider
+from repro.sim.packet import BROADCAST, make_data_packet
+from tests.helpers import LinearMotionProvider, build_static_network, line_positions
+
+
+class RecordingProtocol:
+    """Minimal protocol stub that records what it receives."""
+
+    def __init__(self):
+        self.received = []
+        self.backbone = []
+
+    def start(self):  # pragma: no cover - not used by these tests
+        pass
+
+    def handle_packet(self, packet, sender_id):
+        self.received.append((packet, sender_id))
+
+    def handle_backbone_packet(self, packet, sender_id):
+        self.backbone.append((packet, sender_id))
+
+
+class TestNode:
+    def test_static_node_kinematics(self):
+        node = Node(1, StaticPositionProvider(Vec2(10, 20)))
+        assert node.position == Vec2(10, 20)
+        assert node.speed == 0.0
+        assert node.heading == 0.0
+        assert node.kind is NodeKind.VEHICLE
+        assert not node.is_infrastructure
+
+    def test_moving_node_reads_provider(self, sim):
+        node = Node(1, LinearMotionProvider(sim, Vec2(0, 0), Vec2(10, 0)))
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert node.position.x == pytest.approx(20.0)
+        assert node.speed == pytest.approx(10.0)
+
+    def test_send_without_medium_raises(self):
+        node = Node(1, StaticPositionProvider(Vec2(0, 0)))
+        with pytest.raises(RuntimeError):
+            node.send(make_data_packet("p", 1, 2))
+
+    def test_distance_between_nodes(self):
+        a = Node(1, StaticPositionProvider(Vec2(0, 0)))
+        b = Node(2, StaticPositionProvider(Vec2(3, 4)))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+
+class TestMediumDelivery:
+    def test_broadcast_reaches_nodes_in_range_only(self):
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (100, 0), (600, 0)], comm_range=250.0
+        )
+        protocols = [RecordingProtocol() for _ in nodes]
+        for node, protocol in zip(nodes, protocols):
+            node.attach_protocol(protocol)
+        nodes[0].send(make_data_packet("p", nodes[0].node_id, BROADCAST), BROADCAST)
+        sim.run(until=1.0)
+        assert len(protocols[1].received) == 1
+        assert len(protocols[2].received) == 0
+        assert len(protocols[0].received) == 0  # sender never hears itself
+
+    def test_unicast_only_delivered_to_next_hop(self):
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (100, 0), (150, 0)], comm_range=250.0
+        )
+        protocols = [RecordingProtocol() for _ in nodes]
+        for node, protocol in zip(nodes, protocols):
+            node.attach_protocol(protocol)
+        nodes[0].send(make_data_packet("p", nodes[0].node_id, nodes[1].node_id), nodes[1].node_id)
+        sim.run(until=1.0)
+        assert len(protocols[1].received) == 1
+        assert len(protocols[2].received) == 0
+
+    def test_transmissions_are_counted(self):
+        sim, network, stats, nodes = build_static_network([(0, 0), (100, 0)])
+        for node in nodes:
+            node.attach_protocol(RecordingProtocol())
+        nodes[0].send(make_data_packet("p", nodes[0].node_id, nodes[1].node_id), nodes[1].node_id)
+        sim.run(until=1.0)
+        assert stats.data_transmissions == 1
+
+    def test_failed_unicast_is_retried_by_mac(self):
+        # The destination is out of range, so the MAC retries and eventually
+        # gives up; every attempt occupies the channel and is counted.
+        sim, network, stats, nodes = build_static_network([(0, 0), (1000, 0)], comm_range=250.0)
+        for node in nodes:
+            node.attach_protocol(RecordingProtocol())
+        nodes[0].send(make_data_packet("p", nodes[0].node_id, nodes[1].node_id), nodes[1].node_id)
+        sim.run(until=2.0)
+        mac = nodes[0].mac
+        assert mac.unicast_retries == mac.config.max_unicast_retries
+        assert mac.unicast_failures == 1
+        assert stats.data_transmissions == 1 + mac.config.max_unicast_retries
+
+    def test_concurrent_transmissions_collide_at_receiver(self):
+        # Nodes 0 and 2 are hidden from each other (500 m apart) but both in
+        # range of node 1; transmitting simultaneously causes a collision at 1.
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (250, 0), (500, 0)], comm_range=260.0
+        )
+        for node in nodes:
+            node.attach_protocol(RecordingProtocol())
+        packet_a = make_data_packet("p", nodes[0].node_id, BROADCAST, size_bytes=1000)
+        packet_b = make_data_packet("p", nodes[2].node_id, BROADCAST, size_bytes=1000)
+        sim.schedule(0.0, nodes[0].send, packet_a, BROADCAST)
+        sim.schedule(0.0, nodes[2].send, packet_b, BROADCAST)
+        sim.run(until=1.0)
+        assert stats.mac_collisions >= 1
+        assert len(nodes[1].protocol.received) == 0
+
+    def test_nominal_range_of_unit_disk(self):
+        sim, network, stats, nodes = build_static_network([(0, 0)], comm_range=250.0)
+        assert network.medium.nominal_range() == pytest.approx(250.0)
+
+    def test_nodes_in_range_oracle(self):
+        sim, network, stats, nodes = build_static_network(line_positions(4, 100))
+        in_range = network.medium.nodes_in_range(nodes[0], 250.0)
+        assert {n.node_id for n in in_range} == {nodes[1].node_id, nodes[2].node_id}
+
+
+class TestNetworkAssembly:
+    def test_node_kinds_and_lookup(self):
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (100, 0)], rsu_positions=[(50, -15)]
+        )
+        assert len(network.vehicles) == 2
+        assert len(network.rsus) == 1
+        rsu = network.rsus[0]
+        assert rsu.is_infrastructure
+        assert network.node(rsu.node_id) is rsu
+        assert network.has_node(nodes[0].node_id)
+
+    def test_duplicate_node_id_rejected(self):
+        sim, network, stats, nodes = build_static_network([(0, 0)])
+        with pytest.raises(ValueError):
+            network.add_vehicle(StaticPositionProvider(Vec2(1, 1)), node_id=nodes[0].node_id)
+
+    def test_backbone_send_delivers_between_rsus(self):
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0)], rsu_positions=[(0, -15), (5000, -15)]
+        )
+        rsu_a, rsu_b = network.rsus
+        protocol = RecordingProtocol()
+        rsu_b.attach_protocol(protocol)
+        packet = make_data_packet("p", rsu_a.node_id, rsu_b.node_id)
+        network.backbone_send(rsu_a, rsu_b, packet)
+        sim.run(until=1.0)
+        assert len(protocol.backbone) == 1
+        assert stats.backbone_transmissions == 1
+
+    def test_backbone_rejects_non_rsu_nodes(self):
+        sim, network, stats, nodes = build_static_network(
+            [(0, 0), (10, 0)], rsu_positions=[(0, -15)]
+        )
+        with pytest.raises(ValueError):
+            network.backbone_send(nodes[0], network.rsus[0], make_data_packet("p", 1, 2))
+
+    def test_neighbors_of_uses_nominal_range(self):
+        sim, network, stats, nodes = build_static_network(line_positions(3, 200), comm_range=250.0)
+        neighbors = network.neighbors_of(nodes[0])
+        assert {n.node_id for n in neighbors} == {nodes[1].node_id}
+
+    def test_mobility_stepping(self):
+        class CountingMobility:
+            def __init__(self):
+                self.steps = 0
+
+            def step(self, dt, now):
+                self.steps += 1
+
+        sim, network, stats, nodes = build_static_network([(0, 0)])
+        mobility = CountingMobility()
+        network.mobility = mobility
+        network.start()
+        sim.run(until=5.0)
+        assert mobility.steps == pytest.approx(10, abs=1)
+
+    def test_remove_node(self):
+        sim, network, stats, nodes = build_static_network([(0, 0), (10, 0)])
+        network.remove_node(nodes[0].node_id)
+        assert not network.has_node(nodes[0].node_id)
+        assert nodes[0].node_id not in network.medium.nodes

@@ -1,0 +1,85 @@
+"""Tests for random streams and the packet model."""
+
+import pytest
+
+from repro.sim.packet import BROADCAST, Packet, PacketKind, make_control_packet, make_data_packet
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream_reproduces(self):
+        a = RandomStreams(7).stream("mobility")
+        b = RandomStreams(7).stream("mobility")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_stream_not_perturbed_by_other_streams(self):
+        solo = RandomStreams(3)
+        solo_draws = [solo.stream("target").random() for _ in range(3)]
+        mixed = RandomStreams(3)
+        mixed.stream("noise").random()
+        mixed_draws = [mixed.stream("target").random() for _ in range(3)]
+        assert solo_draws == mixed_draws
+
+    def test_same_name_returns_same_stream_object(self):
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("s").random()
+        b = RandomStreams(2).stream("s").random()
+        assert a != b
+
+    def test_spawn_creates_namespaced_child(self):
+        parent = RandomStreams(5)
+        child_a = parent.spawn("node-1").stream("mac").random()
+        child_b = parent.spawn("node-2").stream("mac").random()
+        assert child_a != child_b
+
+
+class TestPacket:
+    def test_data_packet_constructor(self):
+        packet = make_data_packet("AODV", 1, 2, flow_id=3, seq=4, created_at=1.5)
+        assert packet.is_data and not packet.is_control
+        assert packet.flow_key == (1, 3, 4)
+        assert packet.created_at == 1.5
+        assert packet.ptype == "DATA"
+
+    def test_control_packet_constructor(self):
+        packet = make_control_packet("AODV", "RREQ", 1, headers={"rreq_id": 9})
+        assert packet.is_control
+        assert packet.destination == BROADCAST
+        assert packet.headers["rreq_id"] == 9
+
+    def test_uids_are_unique(self):
+        packets = [make_data_packet("p", 0, 1) for _ in range(100)]
+        assert len({p.uid for p in packets}) == 100
+
+    def test_copy_gets_new_uid_and_independent_headers(self):
+        original = make_control_packet("p", "RREQ", 1, headers={"path": [1]})
+        clone = original.copy()
+        assert clone.uid != original.uid
+        clone.headers["path"].append(2)
+        assert original.headers["path"] == [1]
+
+    def test_copy_with_overrides(self):
+        packet = make_data_packet("p", 1, 2)
+        clone = packet.copy(destination=9)
+        assert clone.destination == 9
+        assert packet.destination == 2
+
+    def test_forwarded_updates_hops_and_ttl(self):
+        packet = make_data_packet("p", 1, 2, ttl=5)
+        forwarded = packet.forwarded()
+        assert forwarded.hop_count == 1
+        assert forwarded.ttl == 4
+        assert forwarded.flow_key == packet.flow_key
+
+    def test_kind_enum_values(self):
+        assert PacketKind.DATA.value == "data"
+        assert PacketKind.CONTROL.value == "control"

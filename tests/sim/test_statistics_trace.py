@@ -1,0 +1,153 @@
+"""Tests for metric collection and event tracing."""
+
+import pytest
+
+from repro.sim.packet import make_control_packet, make_data_packet
+from repro.sim.statistics import StatsCollector
+from repro.sim.trace import EventTrace
+
+
+class TestFlowAccounting:
+    def test_delivery_ratio_counts_unique_deliveries(self, stats):
+        stats.register_flow(1, 10, 20)
+        for seq in range(4):
+            packet = make_data_packet("p", 10, 20, flow_id=1, seq=seq, created_at=0.0)
+            stats.data_originated(packet)
+            if seq < 2:
+                stats.data_delivered(packet, now=1.0)
+        assert stats.total_sent == 4
+        assert stats.total_delivered == 2
+        assert stats.delivery_ratio == pytest.approx(0.5)
+
+    def test_duplicate_deliveries_not_double_counted(self, stats):
+        packet = make_data_packet("p", 1, 2, flow_id=1, seq=1)
+        stats.data_originated(packet)
+        stats.data_delivered(packet, 1.0)
+        stats.data_delivered(packet.copy(), 2.0)
+        flow = stats.flows[1]
+        assert flow.delivered == 1
+        assert flow.duplicates == 1
+
+    def test_delay_and_hops_recorded(self, stats):
+        packet = make_data_packet("p", 1, 2, flow_id=1, seq=1, created_at=2.0)
+        packet.hop_count = 3  # three forwarders -> four links traversed
+        stats.data_originated(packet)
+        stats.data_delivered(packet, now=2.5)
+        assert stats.mean_delay == pytest.approx(0.5)
+        assert stats.mean_hops == pytest.approx(4.0)
+
+    def test_packets_without_flow_id_are_ignored(self, stats):
+        packet = make_data_packet("p", 1, 2)
+        stats.data_originated(packet)
+        stats.data_delivered(packet, 1.0)
+        assert stats.total_sent == 0
+        assert stats.total_delivered == 0
+
+    def test_empty_collector_ratios_are_zero(self, stats):
+        assert stats.delivery_ratio == 0.0
+        assert stats.mean_delay == 0.0
+        assert stats.mean_hops == 0.0
+
+
+class TestOverheadAccounting:
+    def test_control_and_data_transmissions_separated(self, stats):
+        stats.transmission(make_control_packet("p", "RREQ", 1, size_bytes=50))
+        stats.transmission(make_control_packet("p", "HELLO", 1, size_bytes=32))
+        stats.transmission(make_data_packet("p", 1, 2, size_bytes=512))
+        assert stats.control_transmissions == 2
+        assert stats.data_transmissions == 1
+        assert stats.control_bytes == 82
+        assert stats.data_bytes == 512
+
+    def test_beacon_vs_discovery_split(self, stats):
+        for _ in range(3):
+            stats.transmission(make_control_packet("p", "HELLO", 1))
+        for _ in range(2):
+            stats.transmission(make_control_packet("p", "RREQ", 1))
+        assert stats.beacon_transmissions == 3
+        assert stats.discovery_transmissions == 2
+
+    def test_overhead_ratio_uses_deliveries(self, stats):
+        packet = make_data_packet("p", 1, 2, flow_id=1, seq=1)
+        stats.data_originated(packet)
+        stats.data_delivered(packet, 1.0)
+        for _ in range(4):
+            stats.transmission(make_control_packet("p", "RREQ", 1))
+        assert stats.overhead_ratio == pytest.approx(4.0)
+
+    def test_overhead_ratio_without_delivery_reports_raw_control(self, stats):
+        for _ in range(7):
+            stats.transmission(make_control_packet("p", "RREQ", 1))
+        assert stats.overhead_ratio == pytest.approx(7.0)
+
+    def test_summary_contains_headline_metrics(self, stats):
+        summary = stats.summary()
+        for key in (
+            "delivery_ratio",
+            "overhead_ratio",
+            "mean_delay_s",
+            "mac_collisions",
+            "control_transmissions",
+            "beacon_transmissions",
+            "discovery_transmissions",
+        ):
+            assert key in summary
+
+
+class TestRoutingEvents:
+    def test_route_discovery_latency(self, stats):
+        stats.route_discovery_started()
+        stats.route_discovery_completed(0.25)
+        stats.route_discovery_completed(0.75)
+        assert stats.route_discoveries_started == 1
+        assert stats.route_discoveries_completed == 2
+        assert stats.mean_route_discovery_latency == pytest.approx(0.5)
+
+    def test_route_lifetime_mean(self, stats):
+        stats.route_lifetime(2.0)
+        stats.route_lifetime(4.0)
+        assert stats.mean_route_lifetime == pytest.approx(3.0)
+
+    def test_loss_counters_increment(self, stats):
+        stats.collision()
+        stats.weak_signal()
+        stats.queue_drop()
+        stats.ttl_drop()
+        stats.no_route_drop()
+        stats.buffer_drop()
+        summary = stats.summary()
+        assert summary["mac_collisions"] == 1
+        assert summary["phy_weak_signal"] == 1
+        assert summary["mac_queue_drops"] == 1
+        assert summary["ttl_drops"] == 1
+        assert summary["no_route_drops"] == 1
+
+
+class TestEventTrace:
+    def test_disabled_trace_records_nothing(self):
+        trace = EventTrace(enabled=False)
+        trace.record(1.0, "tx", 5)
+        assert len(trace) == 0
+
+    def test_enabled_trace_records_and_filters(self):
+        trace = EventTrace(enabled=True)
+        trace.record(1.0, "tx", 5, ptype="RREQ")
+        trace.record(2.0, "rx", 6, ptype="RREQ")
+        trace.record(3.0, "tx", 6)
+        assert len(trace) == 3
+        assert len(trace.records(category="tx")) == 2
+        assert len(trace.records(node_id=6)) == 2
+        assert trace.records(category="tx", node_id=6)[0].time == 3.0
+
+    def test_max_records_cap(self):
+        trace = EventTrace(enabled=True, max_records=2)
+        for i in range(5):
+            trace.record(float(i), "tx", i)
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_clear(self):
+        trace = EventTrace(enabled=True)
+        trace.record(1.0, "tx", 1)
+        trace.clear()
+        assert len(trace) == 0

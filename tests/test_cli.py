@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_protocols_subcommand_parses(self):
+        args = build_parser().parse_args(["protocols"])
+        assert args.command == "protocols"
+
+    def test_run_subcommand_defaults(self):
+        args = build_parser().parse_args(["run", "AODV"])
+        assert args.protocol == "AODV"
+        assert args.kind == "highway"
+        assert args.density == "normal"
+
+    def test_compare_accepts_multiple_protocols(self):
+        args = build_parser().parse_args(["compare", "AODV", "Greedy", "--density", "sparse"])
+        assert args.protocols == ["AODV", "Greedy"]
+        assert args.density == "sparse"
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_protocols_lists_all_categories(self, capsys):
+        assert main(["protocols"]) == 0
+        output = capsys.readouterr().out
+        for category in ("connectivity", "mobility", "infrastructure", "geographic", "probability"):
+            assert category in output
+        assert "AODV" in output and "Yan-TBP" in output
+
+    def test_run_unknown_protocol_fails_cleanly(self, capsys):
+        assert main(["run", "NotAProtocol"]) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_run_small_scenario(self, capsys, tmp_path):
+        csv_path = tmp_path / "result.csv"
+        code = main(
+            [
+                "run",
+                "Greedy",
+                "--duration", "8",
+                "--max-vehicles", "20",
+                "--flows", "2",
+                "--packets-per-flow", "4",
+                "--density", "sparse",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "delivery_ratio" in output
+        assert csv_path.exists()
+        assert "Greedy" in csv_path.read_text()
+
+    def test_compare_small_scenario(self, capsys):
+        code = main(
+            [
+                "compare",
+                "Flooding",
+                "Greedy",
+                "--duration", "8",
+                "--max-vehicles", "20",
+                "--flows", "2",
+                "--packets-per-flow", "4",
+                "--density", "sparse",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Flooding" in output and "Greedy" in output
+
+    def test_compare_unknown_protocol_fails(self, capsys):
+        assert main(["compare", "Greedy", "Bogus"]) == 2

@@ -1,0 +1,105 @@
+"""Tests for the 2-D geometry helpers."""
+
+import math
+
+import pytest
+
+from repro.geometry import Vec2, angle_between, segment_point_distance
+
+
+class TestVec2Arithmetic:
+    def test_addition(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+
+    def test_subtraction(self):
+        assert Vec2(5, 7) - Vec2(2, 3) == Vec2(3, 4)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Vec2(1, -2) * 3 == Vec2(3, -6)
+        assert 3 * Vec2(1, -2) == Vec2(3, -6)
+
+    def test_division(self):
+        assert Vec2(2, 4) / 2 == Vec2(1, 2)
+
+    def test_negation(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_iteration_unpacks_components(self):
+        x, y = Vec2(3.5, -1.5)
+        assert (x, y) == (3.5, -1.5)
+
+    def test_immutability(self):
+        vector = Vec2(1, 2)
+        with pytest.raises(AttributeError):
+            vector.x = 5
+
+
+class TestVec2Metrics:
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == pytest.approx(5.0)
+
+    def test_norm_sq(self):
+        assert Vec2(3, 4).norm_sq() == pytest.approx(25.0)
+
+    def test_distance_to(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == pytest.approx(5.0)
+
+    def test_dot_product(self):
+        assert Vec2(1, 2).dot(Vec2(3, 4)) == pytest.approx(11.0)
+
+    def test_cross_product_sign(self):
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == pytest.approx(1.0)
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == pytest.approx(-1.0)
+
+    def test_normalized_has_unit_length(self):
+        assert Vec2(10, 0).normalized() == Vec2(1, 0)
+        assert Vec2(3, 4).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_vector_stays_zero(self):
+        assert Vec2(0, 0).normalized() == Vec2(0, 0)
+
+    def test_angle(self):
+        assert Vec2(0, 1).angle() == pytest.approx(math.pi / 2)
+        assert Vec2(-1, 0).angle() == pytest.approx(math.pi)
+
+    def test_rotation_quarter_turn(self):
+        rotated = Vec2(1, 0).rotated(math.pi / 2)
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_projection_positive_and_negative(self):
+        assert Vec2(3, 4).projected_onto(Vec2(1, 0)) == pytest.approx(3.0)
+        assert Vec2(-3, 4).projected_onto(Vec2(1, 0)) == pytest.approx(-3.0)
+
+    def test_from_polar(self):
+        vector = Vec2.from_polar(2.0, math.pi / 2)
+        assert vector.x == pytest.approx(0.0, abs=1e-12)
+        assert vector.y == pytest.approx(2.0)
+
+
+class TestAngleBetween:
+    def test_parallel_vectors(self):
+        assert angle_between(Vec2(1, 0), Vec2(2, 0)) == pytest.approx(0.0)
+
+    def test_opposite_vectors(self):
+        assert angle_between(Vec2(1, 0), Vec2(-1, 0)) == pytest.approx(math.pi)
+
+    def test_perpendicular_vectors(self):
+        assert angle_between(Vec2(1, 0), Vec2(0, 5)) == pytest.approx(math.pi / 2)
+
+    def test_zero_vector_treated_as_aligned(self):
+        assert angle_between(Vec2(0, 0), Vec2(1, 0)) == 0.0
+
+
+class TestSegmentPointDistance:
+    def test_point_on_segment(self):
+        assert segment_point_distance(Vec2(0, 0), Vec2(10, 0), Vec2(5, 0)) == pytest.approx(0.0)
+
+    def test_point_above_middle(self):
+        assert segment_point_distance(Vec2(0, 0), Vec2(10, 0), Vec2(5, 3)) == pytest.approx(3.0)
+
+    def test_point_beyond_endpoint_uses_endpoint(self):
+        assert segment_point_distance(Vec2(0, 0), Vec2(10, 0), Vec2(13, 4)) == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        assert segment_point_distance(Vec2(1, 1), Vec2(1, 1), Vec2(4, 5)) == pytest.approx(5.0)
