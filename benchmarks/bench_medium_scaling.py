@@ -1,0 +1,114 @@
+"""Scaling benchmark: spatial-grid vs. linear-scan wireless medium.
+
+Every delivered frame used to scan all N registered nodes, and every
+carrier-sense poll scanned every in-flight transmission, so frame delivery
+cost O(N) and a beacon interval cost O(N^2).  The uniform-grid index bounds
+both by the local neighbourhood.  This benchmark holds vehicle density
+constant (so the neighbourhood stays the same size), sweeps the population,
+and times an identical broadcast workload through both backends -- the
+linear backend's wall-clock grows superlinearly while the grid's grows
+roughly linearly, which is what makes city-scale scenarios tractable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+from repro.geometry import Vec2
+from repro.radio.propagation import UnitDiskPropagation
+from repro.sim.engine import Simulator
+from repro.sim.medium import WirelessMedium
+from repro.sim.network import Network
+from repro.sim.node import StaticPositionProvider
+from repro.sim.packet import BROADCAST, make_control_packet
+from repro.sim.statistics import StatsCollector
+
+from benchmarks.common import report, run_once
+
+#: Vehicles per square metre: 16 per km^2 -- a city-scale map much larger
+#: than the radio range, which is exactly the regime the index targets (the
+#: linear scan pays for every vehicle on the map per frame; the grid only
+#: pays for the radio neighbourhood).
+DENSITY_PER_M2 = 16e-6
+
+POPULATIONS = [100, 400, 1600]
+FRAMES_PER_NODE = 2
+COMM_RANGE_M = 250.0
+
+
+def _build_network(n: int, backend: str, seed: int = 5):
+    sim = Simulator(seed=seed)
+    stats = StatsCollector()
+    medium = WirelessMedium(
+        sim,
+        propagation=UnitDiskPropagation(COMM_RANGE_M),
+        stats=stats,
+        spatial_backend=backend,
+    )
+    network = Network(sim, medium=medium, stats=stats)
+    side = math.sqrt(n / DENSITY_PER_M2)
+    rng = random.Random(seed)
+    for _ in range(n):
+        network.add_vehicle(
+            StaticPositionProvider(Vec2(rng.uniform(0, side), rng.uniform(0, side)))
+        )
+    return sim, network, stats
+
+
+def _run_broadcast_workload(n: int, backend: str):
+    """Every node broadcasts beacon-sized frames at staggered times."""
+    sim, network, stats, = _build_network(n, backend)
+    rng = random.Random(99)
+    for node in network.nodes.values():
+        for _ in range(FRAMES_PER_NODE):
+            packet = make_control_packet(
+                "bench", "HELLO", node.node_id, BROADCAST, size_bytes=32
+            )
+            sim.schedule_at(rng.uniform(0.0, 2.0), node.send, packet, BROADCAST)
+    started = time.perf_counter()
+    sim.run(until=5.0)
+    wall = time.perf_counter() - started
+    return wall, stats
+
+
+def _sweep():
+    rows = []
+    for n in POPULATIONS:
+        timings = {}
+        receptions = {}
+        for backend in ("linear", "grid"):
+            wall, stats = _run_broadcast_workload(n, backend)
+            timings[backend] = wall
+            receptions[backend] = stats.control_transmissions
+        rows.append(
+            {
+                "vehicles": n,
+                "frames": n * FRAMES_PER_NODE,
+                "linear_s": round(timings["linear"], 4),
+                "grid_s": round(timings["grid"], 4),
+                "speedup": round(timings["linear"] / max(timings["grid"], 1e-9), 2),
+                "tx_linear": receptions["linear"],
+                "tx_grid": receptions["grid"],
+            }
+        )
+    return rows
+
+
+def test_medium_scaling(benchmark):
+    """Frame-delivery wall clock, linear vs. grid, at constant density."""
+    rows = run_once(benchmark, _sweep)
+    report(
+        "medium_scaling",
+        rows,
+        title="Wireless medium scaling -- linear scan vs. uniform grid",
+    )
+    for row in rows:
+        # Both backends must push the same frames through the channel.
+        assert row["tx_linear"] == row["tx_grid"]
+    largest = rows[-1]
+    assert largest["vehicles"] == 1600
+    # Acceptance bar for the grid index: >= 5x faster frame delivery at
+    # N=1600 (a conservative floor; typical runs land far above it).
+    assert largest["speedup"] >= 5.0

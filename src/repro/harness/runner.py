@@ -112,7 +112,12 @@ class ExperimentRunner:
         propagation = self._build_propagation(scenario, sim)
         reception = SnrThresholdReception()
         medium = WirelessMedium(
-            sim, propagation=propagation, reception=reception, stats=stats, trace=trace
+            sim,
+            propagation=propagation,
+            reception=reception,
+            stats=stats,
+            trace=trace,
+            spatial_backend=scenario.spatial_backend,
         )
         mobility, road_graph = self._build_mobility(scenario)
         network = Network(

@@ -89,6 +89,9 @@ class Scenario:
         default_flow_count: Number of random flows when ``flows`` is empty.
         flow_template: Template used for generated flows.
         mobility_step_s: Mobility update interval.
+        spatial_backend: Neighbour-lookup backend of the wireless medium:
+            ``"grid"`` (uniform-grid index, the default) or ``"linear"``
+            (exhaustive oracle scan, exact but O(N) per frame).
     """
 
     name: str = "scenario"
@@ -107,6 +110,7 @@ class Scenario:
     default_flow_count: int = 6
     flow_template: FlowSpec = field(default_factory=FlowSpec)
     mobility_step_s: float = 0.5
+    spatial_backend: str = "grid"
 
     def with_overrides(self, **overrides) -> "Scenario":
         """A copy of this scenario with the given attributes replaced."""

@@ -163,6 +163,7 @@ class BeaconService:
             position=Vec2(headers.get("pos_x", 0.0), headers.get("pos_y", 0.0)),
             velocity=Vec2(headers.get("vel_x", 0.0), headers.get("vel_y", 0.0)),
             last_seen=self.protocol.sim.now,
+            rx_power_dbm=packet.rx_power_dbm,
             is_rsu=bool(headers.get("is_rsu", False)),
             extra={
                 key: value

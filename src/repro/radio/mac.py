@@ -82,10 +82,13 @@ class CsmaCaMac:
         self.unicast_failures = 0
         #: packet uid -> how many times it has already been retransmitted.
         self._retry_counts: dict[int, int] = {}
+        self._shutdown = False
 
     # ------------------------------------------------------------------ queue
     def enqueue(self, packet: Packet, next_hop: int) -> bool:
         """Queue a frame for transmission; returns False if the queue is full."""
+        if self._shutdown:
+            return False
         if len(self._queue) >= self.config.max_queue:
             self.frames_dropped_queue += 1
             self.medium.stats.queue_drop()
@@ -102,7 +105,7 @@ class CsmaCaMac:
         counted as additional transmissions by the statistics collector,
         which is exactly the overhead a real ARQ would add.
         """
-        if received:
+        if received or self._shutdown:
             self._retry_counts.pop(packet.uid, None)
             return
         retries = self._retry_counts.pop(packet.uid, 0)
@@ -113,6 +116,17 @@ class CsmaCaMac:
         self._queue.insert(0, (packet, next_hop, retries + 1))
         self._cw = min(self.config.cw_max, self._cw * 2 + 1)
         self._schedule_attempt()
+
+    def shutdown(self) -> None:
+        """Silence the MAC when its node leaves the network.
+
+        Queued frames are dropped and pending backoff attempts become
+        no-ops; a frame already on the air completes (it physically left
+        the antenna), but nothing new is transmitted.
+        """
+        self._shutdown = True
+        self._queue.clear()
+        self._retry_counts.clear()
 
     @property
     def queue_length(self) -> int:
@@ -135,7 +149,7 @@ class CsmaCaMac:
 
     def _attempt(self) -> None:
         self._attempt_scheduled = False
-        if self._transmitting or not self._queue:
+        if self._shutdown or self._transmitting or not self._queue:
             return
         if self.medium.channel_busy(self.node):
             self.busy_deferrals += 1

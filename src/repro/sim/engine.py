@@ -82,8 +82,11 @@ class Simulator:
     ) -> "PeriodicTask":
         """Schedule ``callback(*args)`` every ``interval`` seconds.
 
-        ``jitter`` adds a uniform random offset in ``[0, jitter]`` to each
-        firing, which is how real protocols desynchronise periodic beacons.
+        ``jitter`` desynchronises periodic tasks the way real protocols
+        desynchronise beacons: the first firing is offset by a uniform draw
+        in ``[0, jitter]`` and every subsequent period is ``interval`` plus
+        a *centred* uniform draw in ``[-jitter/2, +jitter/2]``, so the mean
+        period equals ``interval`` exactly.  Delays are clamped at zero.
         Returns a handle whose :meth:`PeriodicTask.cancel` stops the task.
         """
         if interval <= 0:
@@ -168,7 +171,11 @@ class PeriodicTask:
         self._cancelled = False
 
     def start(self, first_delay: float) -> None:
-        """Schedule the first firing ``first_delay`` seconds from now."""
+        """Schedule the first firing ``first_delay`` seconds from now.
+
+        The first firing gets a one-off phase offset in ``[0, jitter]``;
+        subsequent periods use a centred draw (see :meth:`_fire`).
+        """
         delay = max(0.0, first_delay)
         if self._jitter > 0:
             delay += self._rng.uniform(0.0, self._jitter)
@@ -186,7 +193,11 @@ class PeriodicTask:
         self._callback(*self._args)
         if self._cancelled:
             return
+        # Centred jitter keeps the mean period at exactly `interval`; an
+        # offset in [0, jitter] would slow every task by jitter/2 on average
+        # (10% at the conventional jitter = 0.2 * interval), skewing beacon
+        # and overhead accounting.
         delay = self._interval
         if self._jitter > 0:
-            delay += self._rng.uniform(0.0, self._jitter)
-        self._event = self._sim.schedule(delay, self._fire)
+            delay += self._rng.uniform(-0.5 * self._jitter, 0.5 * self._jitter)
+        self._event = self._sim.schedule(max(0.0, delay), self._fire)

@@ -7,6 +7,18 @@ Unicast frames (``next_hop`` set) are filtered at the receiver, but they
 still occupy the channel for everybody -- which is what makes flooding
 expensive and is the physical basis of Table I's "overhead / broadcast
 storm" column for connectivity-based routing.
+
+Receiver fan-out, carrier sensing and interference aggregation all go
+through a pluggable :mod:`~repro.sim.spatial` index (``"grid"`` by default,
+``"linear"`` as the exhaustive oracle).  Candidates from the index are
+re-filtered against live positions and visited in registration order, so
+with a finite-range propagation model (unit disk, the default) both
+backends produce byte-identical event traces.  Models whose received
+power never drops to ``NO_SIGNAL_DBM`` (two-ray, free-space, shadowing)
+are approximated under the grid: transmitters beyond the carrier-sense
+cutoff are excluded from carrier sensing and interference sums, the same
+bounded-range tradeoff :meth:`WirelessMedium._reception_cutoff` already
+applies to reception.
 """
 
 from __future__ import annotations
@@ -16,7 +28,6 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.geometry import Vec2
 from repro.radio.interference import NO_SIGNAL_DBM, combine_dbm
-from repro.radio.mac import CsmaCaMac, MacConfig
 from repro.radio.propagation import PropagationModel, UnitDiskPropagation
 from repro.radio.reception import (
     ReceptionDecision,
@@ -25,10 +36,12 @@ from repro.radio.reception import (
 )
 from repro.sim.engine import Simulator
 from repro.sim.packet import BROADCAST, Packet
+from repro.sim.spatial import make_spatial_index
 from repro.sim.statistics import StatsCollector
 from repro.sim.trace import EventTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.radio.mac import MacConfig
     from repro.sim.node import Node
 
 
@@ -47,7 +60,17 @@ class ActiveTransmission:
 
 
 class WirelessMedium:
-    """Shared channel connecting every registered node."""
+    """Shared channel connecting every registered node.
+
+    Args:
+        spatial_backend: ``"grid"`` (default) or ``"linear"`` -- how receiver
+            and carrier-sense candidates are looked up.
+        cell_size_m: Grid cell size; defaults to the reception cutoff.
+        position_slack_m: How far a node may drift from its indexed position
+            before a refresh without being missed by a query.
+        position_refresh_s: Maximum staleness of indexed positions; queries
+            lazily re-index all nodes once this much simulated time passed.
+    """
 
     def __init__(
         self,
@@ -55,13 +78,22 @@ class WirelessMedium:
         propagation: Optional[PropagationModel] = None,
         reception: Optional[ReceptionModel] = None,
         stats: Optional[StatsCollector] = None,
-        mac_config: Optional[MacConfig] = None,
+        mac_config: Optional["MacConfig"] = None,
         trace: Optional[EventTrace] = None,
         carrier_sense_margin_db: float = 10.0,
+        spatial_backend: str = "grid",
+        cell_size_m: Optional[float] = None,
+        position_slack_m: float = 100.0,
+        position_refresh_s: float = 0.5,
     ) -> None:
         self.sim = sim
         self.propagation = propagation if propagation is not None else UnitDiskPropagation()
         self.reception = reception if reception is not None else SnrThresholdReception()
+        # Imported here (not at module level) to break the import cycle
+        # radio.mac -> sim.packet -> sim.medium -> radio.mac, which made
+        # `import repro.radio` fail when it ran before `import repro.sim`.
+        from repro.radio.mac import MacConfig
+
         self.stats = stats if stats is not None else StatsCollector()
         self.mac_config = mac_config if mac_config is not None else MacConfig()
         self.trace = trace if trace is not None else EventTrace(enabled=False)
@@ -71,15 +103,41 @@ class WirelessMedium:
         )
         self._nodes: Dict[int, "Node"] = {}
         self._transmissions: List[ActiveTransmission] = []
+        self._tx_by_uid: Dict[int, ActiveTransmission] = {}
         self._tx_counter = 0
         self._range_cache: Dict[float, float] = {}
+        self._cs_range_cache: Dict[float, float] = {}
+        self.spatial_backend = spatial_backend
+        if cell_size_m is None:
+            cell_size_m = self._default_cell_size()
+        self.position_refresh_s = position_refresh_s
+        self._node_index = make_spatial_index(
+            spatial_backend, cell_size_m, position_slack_m
+        )
+        #: Transmission positions are frozen at begin time, so no slack.
+        self._tx_index = make_spatial_index(spatial_backend, cell_size_m, 0.0)
+        #: Registration sequence: candidates are visited in this order so
+        #: both spatial backends consume random streams identically.
+        self._node_seq: Dict[int, int] = {}
+        self._seq_counter = 0
+        self._last_position_refresh = -float("inf")
+        self._max_tx_power_dbm: Optional[float] = None
+
+    def _default_cell_size(self) -> float:
+        nominal = self.propagation.nominal_range(20.0, self.reception.sensitivity_dbm)
+        return nominal * 2.0 if nominal > 0 else 500.0
 
     # --------------------------------------------------------------- topology
     def register(self, node: "Node") -> None:
         """Attach a node to the channel and give it a MAC instance."""
         if node.node_id in self._nodes:
             raise ValueError(f"node id {node.node_id} already registered")
+        from repro.radio.mac import CsmaCaMac
+
         self._nodes[node.node_id] = node
+        self._seq_counter += 1
+        self._node_seq[node.node_id] = self._seq_counter
+        self._node_index.insert(node.node_id, node.position)
         node.mac = CsmaCaMac(
             node, self, self.mac_config, self.sim.rng.stream(f"mac-{node.node_id}")
         )
@@ -87,20 +145,57 @@ class WirelessMedium:
     def unregister(self, node_id: int) -> None:
         """Detach a node (e.g. a vehicle leaving the scenario)."""
         self._nodes.pop(node_id, None)
+        self._node_seq.pop(node_id, None)
+        self._node_index.remove(node_id)
 
     @property
     def nodes(self) -> Dict[int, "Node"]:
         """All registered nodes, keyed by node id."""
         return self._nodes
 
+    # ---------------------------------------------------------- spatial index
+    def refresh_positions(self) -> None:
+        """Re-index every node's live position (called each mobility step)."""
+        index = self._node_index
+        for node_id, node in self._nodes.items():
+            index.update(node_id, node.position)
+        self._last_position_refresh = self.sim.now
+
+    def _maybe_refresh_positions(self) -> None:
+        if self.sim.now - self._last_position_refresh >= self.position_refresh_s:
+            self.refresh_positions()
+
+    def _nodes_near(self, position: Vec2, radius: float) -> List["Node"]:
+        """Candidate receivers around ``position``, in registration order.
+
+        A superset of the nodes truly within ``radius``; callers must apply
+        the exact live-position distance test.
+        """
+        self._maybe_refresh_positions()
+        ids = self._node_index.query_ids(position, radius)
+        ids.sort(key=self._node_seq.__getitem__)
+        nodes = self._nodes
+        return [nodes[node_id] for node_id in ids]
+
+    def _transmissions_near(self, position: Vec2, radius: float) -> List[ActiveTransmission]:
+        """Transmissions whose sender may be within ``radius``, in uid order."""
+        ids = self._tx_index.query_ids(position, radius)
+        ids.sort()
+        by_uid = self._tx_by_uid
+        return [by_uid[uid] for uid in ids]
+
     def nodes_in_range(self, node: "Node", range_m: float) -> List["Node"]:
-        """Oracle: nodes whose current distance to ``node`` is below ``range_m``."""
-        position = node.position
+        """Oracle: nodes whose current distance to ``node`` is within ``range_m``."""
+        return self.nodes_within(node.position, range_m, exclude=node.node_id)
+
+    def nodes_within(
+        self, position: Vec2, radius: float, exclude: Optional[int] = None
+    ) -> List["Node"]:
+        """Registered nodes within ``radius`` metres of ``position``."""
         return [
-            other
-            for other in self._nodes.values()
-            if other.node_id != node.node_id
-            and position.distance_to(other.position) <= range_m
+            node
+            for node in self._nodes_near(position, radius)
+            if node.node_id != exclude and position.distance_to(node.position) <= radius
         ]
 
     def nominal_range(self, tx_power_dbm: float = 20.0) -> float:
@@ -112,7 +207,7 @@ class WirelessMedium:
         """True when ``node`` senses an ongoing transmission above the CS threshold."""
         now = self.sim.now
         position = node.position
-        for tx in self._transmissions:
+        for tx in self._transmissions_near(position, self._carrier_sense_reach()):
             if tx.end <= now or tx.sender_id == node.node_id:
                 continue
             rx_power = self.propagation.rx_power_dbm(
@@ -139,6 +234,13 @@ class WirelessMedium:
             uid=self._tx_counter,
         )
         self._transmissions.append(transmission)
+        self._tx_by_uid[transmission.uid] = transmission
+        self._tx_index.insert(transmission.uid, transmission.sender_position)
+        if (
+            self._max_tx_power_dbm is None
+            or sender.tx_power_dbm > self._max_tx_power_dbm
+        ):
+            self._max_tx_power_dbm = sender.tx_power_dbm
         self.stats.transmission(packet)
         self.trace.record(
             now,
@@ -159,7 +261,21 @@ class WirelessMedium:
         rng = self.sim.rng.stream("phy-reception")
         is_unicast = transmission.next_hop != BROADCAST
         unicast_delivered = False
-        for node in list(self._nodes.values()):
+        # Every receiver of this frame sits within `cutoff` of the sender, so
+        # (by the triangle inequality) every transmission that can interfere
+        # at any of them sits within `cutoff + carrier-sense reach` of the
+        # sender.  Fetching the overlap-filtered candidates once here keeps
+        # the per-receiver interference loop free of index queries.
+        interferers = [
+            other
+            for other in self._transmissions_near(
+                transmission.sender_position, cutoff + self._carrier_sense_reach()
+            )
+            if other.uid != transmission.uid
+            and other.end > transmission.start
+            and other.start < transmission.end
+        ]
+        for node in self._nodes_near(transmission.sender_position, cutoff):
             if node.node_id == transmission.sender_id:
                 continue
             receiver_position = node.position
@@ -171,7 +287,7 @@ class WirelessMedium:
             )
             if rx_power <= NO_SIGNAL_DBM:
                 continue
-            interference = self._interference_at(receiver_position, transmission, now)
+            interference = self._interference_at(receiver_position, interferers)
             outcome = self.reception.decide(rx_power, interference, rng)
             intended = (
                 transmission.next_hop == BROADCAST
@@ -189,7 +305,11 @@ class WirelessMedium:
                         sender=transmission.sender_id,
                         uid=transmission.packet.uid,
                     )
-                    node.deliver(transmission.packet.copy(), transmission.sender_id)
+                    node.deliver(
+                        transmission.packet.copy(),
+                        transmission.sender_id,
+                        rx_power_dbm=rx_power,
+                    )
             elif outcome.decision is ReceptionDecision.COLLISION:
                 if intended:
                     self.stats.collision()
@@ -210,18 +330,13 @@ class WirelessMedium:
                 )
 
     def _interference_at(
-        self, position: Vec2, transmission: ActiveTransmission, now: float
+        self, position: Vec2, interferers: List[ActiveTransmission]
     ) -> float:
-        """Aggregate power of transmissions overlapping ``transmission`` at ``position``."""
+        """Aggregate power of the overlapping ``interferers`` at ``position``."""
         contributions: List[float] = []
-        for other in self._transmissions:
-            if other.uid == transmission.uid:
-                continue
-            if other.end <= transmission.start or other.start >= transmission.end:
-                continue
-            power = self.propagation.rx_power_dbm(
-                other.tx_power_dbm, other.sender_position, position
-            )
+        rx_power_dbm = self.propagation.rx_power_dbm
+        for other in interferers:
+            power = rx_power_dbm(other.tx_power_dbm, other.sender_position, position)
             if power > NO_SIGNAL_DBM:
                 contributions.append(power)
         if not contributions:
@@ -242,10 +357,46 @@ class WirelessMedium:
         self._range_cache[tx_power_dbm] = cutoff
         return cutoff
 
+    def _carrier_sense_reach(self) -> float:
+        """Sender distance beyond which a transmission cannot trip carrier sense.
+
+        Uses the highest transmit power seen on the channel against the
+        carrier-sense threshold, with the same 2x shadowing margin as
+        :meth:`_reception_cutoff`.
+        """
+        tx_power = self._max_tx_power_dbm
+        if tx_power is None:
+            return 0.0
+        cached = self._cs_range_cache.get(tx_power)
+        if cached is not None:
+            return cached
+        nominal = self.propagation.nominal_range(
+            tx_power, self.carrier_sense_threshold_dbm
+        )
+        reach = nominal * 2.0 if nominal > 0 else 0.0
+        self._cs_range_cache[tx_power] = reach
+        return reach
+
     def _prune(self, now: float) -> None:
-        """Drop transmissions that can no longer overlap anything in flight."""
-        horizon = now - 1.0
-        if len(self._transmissions) > 256:
-            self._transmissions = [t for t in self._transmissions if t.end >= horizon]
+        """Drop transmissions that can no longer overlap anything in flight.
+
+        A past transmission still matters while some pending frame's airtime
+        overlaps it, so the horizon is the earliest start among frames that
+        have not finished yet (``end >= now`` -- frames completing right now
+        are still being evaluated).  This keeps arbitrarily long frames
+        alive for their whole flight instead of cutting history at a fixed
+        1-second window.
+        """
+        pending_starts = [t.start for t in self._transmissions if t.end >= now]
+        if pending_starts:
+            horizon = min(pending_starts)
+            keep = [t for t in self._transmissions if t.end > horizon]
         else:
-            self._transmissions = [t for t in self._transmissions if t.end >= now - 1.0]
+            keep = []
+        if len(keep) != len(self._transmissions):
+            self._transmissions = keep
+            kept_uids = {t.uid for t in keep}
+            for uid in list(self._tx_by_uid):
+                if uid not in kept_uids:
+                    del self._tx_by_uid[uid]
+                    self._tx_index.remove(uid)

@@ -113,9 +113,21 @@ class Network:
         return node
 
     def remove_node(self, node_id: int) -> None:
-        """Remove a node from the network and the channel."""
-        self._nodes.pop(node_id, None)
+        """Remove a node from the network and the channel.
+
+        The node's routing protocol is stopped (its periodic timers --
+        HELLO beacons, carry retries, route refreshes -- stop firing) and
+        its MAC is silenced (queued frames dropped, pending backoffs
+        cancelled); without this a removed vehicle kept broadcasting
+        forever.  A frame already on the air still completes.
+        """
+        node = self._nodes.pop(node_id, None)
         self.medium.unregister(node_id)
+        if node is not None:
+            if node.protocol is not None:
+                node.protocol.stop()
+            if node.mac is not None:
+                node.mac.shutdown()
 
     def node(self, node_id: int) -> Node:
         """Look up a node by id."""
@@ -149,12 +161,8 @@ class Network:
     def nodes_within(
         self, position: Vec2, radius: float, exclude: Optional[int] = None
     ) -> List[Node]:
-        """Nodes within ``radius`` metres of ``position``."""
-        return [
-            node
-            for node in self._nodes.values()
-            if node.node_id != exclude and position.distance_to(node.position) <= radius
-        ]
+        """Nodes within ``radius`` metres of ``position`` (inclusive)."""
+        return self.medium.nodes_within(position, radius, exclude=exclude)
 
     def neighbors_of(self, node: Node, radius: Optional[float] = None) -> List[Node]:
         """Oracle neighbourhood of ``node`` (defaults to the nominal radio range)."""
@@ -218,3 +226,4 @@ class Network:
     def _step_mobility(self) -> None:
         if self.mobility is not None:
             self.mobility.step(self.config.mobility_step, self.sim.now)
+            self.medium.refresh_positions()

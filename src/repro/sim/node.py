@@ -123,8 +123,17 @@ class Node:
             )
         self.mac.enqueue(packet, next_hop)
 
-    def deliver(self, packet: Packet, sender_id: int) -> None:
-        """Called by the medium when a frame is successfully received."""
+    def deliver(
+        self, packet: Packet, sender_id: int, rx_power_dbm: Optional[float] = None
+    ) -> None:
+        """Called by the medium when a frame is successfully received.
+
+        ``rx_power_dbm`` is the received signal strength computed by the
+        propagation model; it is stamped onto this receiver's copy of the
+        packet so protocols can make signal-strength-aware decisions.
+        """
+        if rx_power_dbm is not None:
+            packet.rx_power_dbm = rx_power_dbm
         if self.protocol is not None:
             self.protocol.handle_packet(packet, sender_id)
 

@@ -48,6 +48,9 @@ class Packet:
         seq: Application/flow sequence number (data packets only).
         headers: Protocol-specific header fields.
         payload: Opaque application payload description.
+        rx_power_dbm: Receiver-side metadata -- the signal strength at which
+            this copy of the packet was received, stamped by the medium on
+            delivery.  ``None`` while the packet is in flight.
     """
 
     kind: PacketKind
@@ -63,6 +66,7 @@ class Packet:
     seq: Optional[int] = None
     headers: Dict[str, Any] = field(default_factory=dict)
     payload: Dict[str, Any] = field(default_factory=dict)
+    rx_power_dbm: Optional[float] = None
     uid: int = field(default_factory=lambda: next(_uid_counter))
 
     def copy(self, **overrides: Any) -> "Packet":

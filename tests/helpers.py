@@ -43,6 +43,7 @@ def build_static_network(
     road_graph: Optional[RoadGraph] = None,
     rsu_positions: Iterable[Tuple[float, float]] = (),
     trace: bool = False,
+    spatial_backend: str = "grid",
 ):
     """Build a network of nodes at fixed positions (or constant velocities).
 
@@ -59,6 +60,7 @@ def build_static_network(
         reception=SnrThresholdReception(),
         stats=stats,
         trace=event_trace,
+        spatial_backend=spatial_backend,
     )
     network = Network(sim, medium=medium, stats=stats, trace=event_trace)
     nodes: List[Node] = []

@@ -57,7 +57,11 @@ class TestDisjLiProtocol:
         ]
         sim, network, stats, nodes = build_static_network(positions, protocol="DisjLi")
         network.start()
-        run_data_flow(sim, stats, nodes[0], nodes[5], packets=4, start=2.0, until=20.0)
+        # Trigger discovery before any data is pending: a pending packet is
+        # sent the instant the first RREP arrives, and that data frame can
+        # collide with the second chain's RREP still working its way back.
+        sim.schedule_at(2.0, nodes[0].protocol._ensure_discovery, nodes[5].node_id)
+        run_data_flow(sim, stats, nodes[0], nodes[5], packets=4, start=4.0, until=20.0)
         assert stats.delivery_ratio >= 0.75
         source_protocol: DisjLiProtocol = nodes[0].protocol
         path_set = source_protocol._path_sets.get(nodes[5].node_id)

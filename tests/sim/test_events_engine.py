@@ -136,8 +136,28 @@ class TestPeriodicTask:
         sim.schedule_periodic(1.0, lambda: times.append(sim.now), jitter=0.2)
         sim.run(until=10.0)
         assert 7 <= len(times) <= 10
+        # Centred jitter: each period is interval +/- jitter/2.
         deltas = [b - a for a, b in zip(times, times[1:])]
-        assert all(1.0 <= delta <= 1.4 + 1e-9 for delta in deltas)
+        assert all(0.9 - 1e-9 <= delta <= 1.1 + 1e-9 for delta in deltas)
+
+    def test_periodic_jitter_mean_period_is_interval(self, sim):
+        # Regression: uniform(0, jitter) on every re-schedule used to make
+        # the mean period `interval + jitter/2` (~10% slow at jitter=0.2*I).
+        times = []
+        sim.schedule_periodic(1.0, lambda: times.append(sim.now), jitter=0.4)
+        sim.run(until=2000.0)
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        mean_period = sum(deltas) / len(deltas)
+        assert mean_period == pytest.approx(1.0, abs=0.02)
+
+    def test_periodic_jitter_never_schedules_in_the_past(self, sim):
+        # A jitter wider than twice the interval can push the centred draw
+        # negative; the delay must be clamped at zero instead of raising.
+        times = []
+        sim.schedule_periodic(0.1, lambda: times.append(sim.now), jitter=0.5)
+        sim.run(until=20.0)
+        assert times == sorted(times)
+        assert len(times) > 0
 
     def test_invalid_interval_rejected(self, sim):
         with pytest.raises(SimulationError):
