@@ -15,8 +15,10 @@ from __future__ import annotations
 import math
 import random
 import time
+from typing import NamedTuple
 
 from repro.geometry import Vec2
+from repro.harness.sweep import execute_cells
 from repro.radio.propagation import UnitDiskPropagation
 from repro.sim.engine import Simulator
 from repro.sim.medium import WirelessMedium
@@ -25,7 +27,7 @@ from repro.sim.node import StaticPositionProvider
 from repro.sim.packet import BROADCAST, make_control_packet
 from repro.sim.statistics import StatsCollector
 
-from benchmarks.common import report, run_once
+from benchmarks.common import report, run_once, sweep_workers
 
 #: Vehicles per square metre: 16 per km^2 -- a city-scale map much larger
 #: than the radio range, which is exactly the regime the index targets (the
@@ -57,9 +59,27 @@ def _build_network(n: int, backend: str, seed: int = 5):
     return sim, network, stats
 
 
-def _run_broadcast_workload(n: int, backend: str):
-    """Every node broadcasts beacon-sized frames at staggered times."""
-    sim, network, stats, = _build_network(n, backend)
+class ScalingCell(NamedTuple):
+    """One (population, backend) run of the scaling matrix (picklable)."""
+
+    vehicles: int
+    backend: str
+
+
+#: The explicit run matrix this benchmark executes through the sweep layer.
+CELLS = [ScalingCell(n, backend) for n in POPULATIONS for backend in ("linear", "grid")]
+
+#: Worker processes.  Defaults to serial execution because the measured
+#: quantity is wall-clock time: co-scheduled workers would contend for CPU
+#: and distort the linear-vs-grid comparison.  Deliberately NOT the shared
+#: REPRO_SWEEP_WORKERS variable: set REPRO_SCALING_WORKERS only for a quick
+#: sweep where the timing columns do not matter.
+WORKERS = sweep_workers(var="REPRO_SCALING_WORKERS")
+
+
+def run_scaling_cell(cell: ScalingCell) -> dict:
+    """Broadcast beacon-sized frames from every node and time frame delivery."""
+    sim, network, stats = _build_network(cell.vehicles, cell.backend)
     rng = random.Random(99)
     for node in network.nodes.values():
         for _ in range(FRAMES_PER_NODE):
@@ -70,27 +90,30 @@ def _run_broadcast_workload(n: int, backend: str):
     started = time.perf_counter()
     sim.run(until=5.0)
     wall = time.perf_counter() - started
-    return wall, stats
+    return {
+        "vehicles": cell.vehicles,
+        "backend": cell.backend,
+        "wall_s": wall,
+        "transmissions": stats.control_transmissions,
+    }
 
 
 def _sweep():
+    outcomes = execute_cells(CELLS, run_scaling_cell, workers=WORKERS)
+    by_cell = {(o["vehicles"], o["backend"]): o for o in outcomes}
     rows = []
     for n in POPULATIONS:
-        timings = {}
-        receptions = {}
-        for backend in ("linear", "grid"):
-            wall, stats = _run_broadcast_workload(n, backend)
-            timings[backend] = wall
-            receptions[backend] = stats.control_transmissions
+        linear = by_cell[(n, "linear")]
+        grid = by_cell[(n, "grid")]
         rows.append(
             {
                 "vehicles": n,
                 "frames": n * FRAMES_PER_NODE,
-                "linear_s": round(timings["linear"], 4),
-                "grid_s": round(timings["grid"], 4),
-                "speedup": round(timings["linear"] / max(timings["grid"], 1e-9), 2),
-                "tx_linear": receptions["linear"],
-                "tx_grid": receptions["grid"],
+                "linear_s": round(linear["wall_s"], 4),
+                "grid_s": round(grid["wall_s"], 4),
+                "speedup": round(linear["wall_s"] / max(grid["wall_s"], 1e-9), 2),
+                "tx_linear": linear["transmissions"],
+                "tx_grid": grid["transmissions"],
             }
         )
     return rows

@@ -8,10 +8,11 @@ writes them to ``benchmarks/results/<name>.csv`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.harness.reporting import format_table, rows_to_csv
+from repro.harness.reporting import format_table, rows_to_csv, rows_to_json, sweep_to_json
 from repro.harness.runner import ExperimentRunner
 from repro.harness.scenario import FlowSpec, Scenario, highway_scenario, manhattan_scenario
 from repro.mobility.generator import TrafficDensity
@@ -22,6 +23,20 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: One shared runner; scenarios carry their own seeds so runs stay independent.
 RUNNER = ExperimentRunner()
+
+
+def sweep_workers(var: str = "REPRO_SWEEP_WORKERS", default: int = 1) -> int:
+    """Worker-process count for sweep-based benchmarks, read from ``var``.
+
+    Timing-sensitive benchmarks pass their own variable name so that
+    enabling parallelism for throughput sweeps cannot silently co-schedule
+    (and distort) their wall-clock measurements.
+    """
+    raw = os.environ.get(var, "")
+    try:
+        return int(raw) if raw else default
+    except ValueError:
+        return default
 
 
 def small_highway(
@@ -101,12 +116,24 @@ def report(
     rows: Sequence[Dict[str, object]],
     columns: Optional[Sequence[str]] = None,
     title: Optional[str] = None,
+    metadata: Optional[Dict[str, object]] = None,
 ) -> None:
-    """Print a result table and persist it to ``benchmarks/results/<name>.csv``."""
+    """Print a result table and persist it as CSV + JSON under ``benchmarks/results/``.
+
+    The CSV keeps the historical spreadsheet-friendly artifact; the JSON
+    sibling preserves value types for downstream tooling.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     print()
     print(format_table(rows, columns=columns, title=title or name))
     rows_to_csv(RESULTS_DIR / f"{name}.csv", rows, columns=columns)
+    rows_to_json(RESULTS_DIR / f"{name}.json", rows, metadata=metadata)
+
+
+def report_sweep(name: str, sweep_result) -> None:
+    """Persist a full replicated sweep (records + aggregates) as JSON."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    sweep_to_json(RESULTS_DIR / f"{name}.json", sweep_result)
 
 
 def run_once(benchmark, func):

@@ -1,13 +1,17 @@
 """Command-line interface: run scenarios and sweeps without writing Python.
 
 Installed as the ``repro-vanet`` console script (see ``pyproject.toml``), but
-also runnable as ``python -m repro.cli``.  Three subcommands:
+also runnable as ``python -m repro.cli``.  Four subcommands:
 
 ``run``
     Run one protocol through one scenario and print the metric summary.
 ``compare``
     Run several protocols through the same scenario and print a comparison
     table (optionally written to CSV).
+``sweep``
+    Run a protocol x seed replication matrix over the scenario, optionally
+    across worker processes, and print per-cell mean / 95% CI aggregates
+    (optionally persisted to CSV and JSON).
 ``protocols``
     List the implemented protocols and their taxonomy categories.
 """
@@ -19,10 +23,10 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.core.taxonomy import global_registry
-from repro.harness.reporting import format_table, rows_to_csv
+from repro.harness.reporting import format_table, rows_to_csv, sweep_to_json
 from repro.harness.runner import ExperimentRunner
 from repro.harness.scenario import FlowSpec, Scenario, highway_scenario, manhattan_scenario
-from repro.harness.sweep import sweep_protocols
+from repro.harness.sweep import HEADLINE_METRICS, sweep_protocols, sweep_replications
 from repro.mobility.generator import TrafficDensity
 from repro.protocols.registry import available_protocols
 
@@ -61,7 +65,7 @@ def _build_scenario(args: argparse.Namespace) -> Scenario:
     return scenario
 
 
-def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_scenario_arguments(parser: argparse.ArgumentParser, include_seed: bool = True) -> None:
     parser.add_argument(
         "--kind", choices=["highway", "manhattan"], default="highway",
         help="mobility scenario (default: highway)",
@@ -76,7 +80,8 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--packets-per-flow", type=int, default=20, help="packets per flow")
     parser.add_argument("--packet-interval", type=float, default=1.0, help="seconds between packets")
     parser.add_argument("--warmup", type=float, default=5.0, help="flow start time (seconds)")
-    parser.add_argument("--seed", type=int, default=1, help="master random seed")
+    if include_seed:
+        parser.add_argument("--seed", type=int, default=1, help="master random seed")
     parser.add_argument(
         "--rsu-spacing", type=float, default=None,
         help="distance between road-side units in metres (default: no RSUs)",
@@ -121,6 +126,35 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    unknown = [p for p in args.protocols if p not in available_protocols()]
+    if unknown:
+        print(f"unknown protocol(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    scenario = _build_scenario(args)
+    try:
+        result = sweep_replications(
+            [scenario],
+            args.protocols,
+            seeds=args.seeds,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rows = result.rows(HEADLINE_METRICS)
+    title = (
+        f"Sweep on {scenario.name}: {len(args.protocols)} protocol(s) x "
+        f"{len(args.seeds)} seed(s), workers={args.workers}"
+    )
+    print(format_table(rows, title=title))
+    if args.csv:
+        rows_to_csv(args.csv, rows)
+    if args.json:
+        sweep_to_json(args.json, result)
+    return 0
+
+
 def _command_protocols(_: argparse.Namespace) -> int:
     rows = global_registry.as_table()
     print(format_table(rows, columns=["category", "protocol", "reference", "description"]))
@@ -146,6 +180,30 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("protocols", nargs="+", help="protocol names")
     _add_scenario_arguments(compare_parser)
     compare_parser.set_defaults(func=_command_compare)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a protocol x seed replication matrix (optionally in parallel)",
+    )
+    sweep_parser.add_argument("protocols", nargs="+", help="protocol names")
+    # The sweep replaces the single --seed with an explicit --seeds list (one
+    # run per seed); offering both would let --seed be silently ignored.
+    _add_scenario_arguments(sweep_parser, include_seed=False)
+    sweep_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2, 3],
+        help="replication seeds, one run per (protocol, seed) (default: 1 2 3)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; 1 runs serially in-process (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--json", type=str, default=None,
+        help="write the full sweep (per-run records + aggregates) to this JSON file",
+    )
+    # ``seed=1`` only placates _build_scenario; build_matrix overrides every
+    # cell's seed with a value from --seeds.
+    sweep_parser.set_defaults(func=_command_sweep, seed=1)
 
     protocols_parser = subparsers.add_parser("protocols", help="list implemented protocols")
     protocols_parser.set_defaults(func=_command_protocols)

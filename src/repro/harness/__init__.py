@@ -2,27 +2,63 @@
 
 The benchmarks in ``benchmarks/`` are thin wrappers around this package:
 each defines a scenario (or a sweep of scenarios), runs one or more protocols
-through :class:`~repro.harness.runner.ExperimentRunner`, and prints the rows
-of the corresponding figure or table of the paper.
+through :class:`~repro.harness.runner.ExperimentRunner` — or, for replicated
+matrices, through :func:`~repro.harness.sweep.sweep_replications` — and
+prints the rows of the corresponding figure or table of the paper.
 """
 
 from repro.harness.compare import category_comparison, category_representatives
-from repro.harness.reporting import format_table, rows_to_csv
-from repro.harness.runner import ExperimentRunner, RunResult
+from repro.harness.reporting import (
+    format_table,
+    rows_from_json,
+    rows_to_csv,
+    rows_to_json,
+    sweep_from_json,
+    sweep_to_csv,
+    sweep_to_json,
+)
+from repro.harness.runner import ExperimentRunner, RunRecord, RunResult
 from repro.harness.scenario import FlowSpec, RadioConfig, Scenario, ScenarioKind
-from repro.harness.sweep import sweep_densities, sweep_protocols
+from repro.harness.sweep import (
+    MetricAggregate,
+    ReplicatedResult,
+    SweepCell,
+    SweepResult,
+    aggregate_records,
+    build_matrix,
+    execute_cells,
+    sweep_densities,
+    sweep_protocols,
+    sweep_replications,
+    sweep_scenarios,
+)
 
 __all__ = [
     "category_comparison",
     "category_representatives",
     "format_table",
+    "rows_from_json",
     "rows_to_csv",
+    "rows_to_json",
+    "sweep_from_json",
+    "sweep_to_csv",
+    "sweep_to_json",
     "ExperimentRunner",
+    "RunRecord",
     "RunResult",
     "FlowSpec",
     "RadioConfig",
     "Scenario",
     "ScenarioKind",
+    "MetricAggregate",
+    "ReplicatedResult",
+    "SweepCell",
+    "SweepResult",
+    "aggregate_records",
+    "build_matrix",
+    "execute_cells",
     "sweep_densities",
     "sweep_protocols",
+    "sweep_replications",
+    "sweep_scenarios",
 ]

@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.metrics import PAPER_TABLE_I
 from repro.core.taxonomy import Category, global_registry
-from repro.harness.runner import RunResult
+from repro.harness.runner import RunRecord, RunResult
+
+#: Comparison helpers accept both the rich in-process result and the slim
+#: picklable record produced by the parallel sweep layer; they only touch the
+#: fields the two types share (scenario_name, protocol, summary, extra).
+AnyResult = Union[RunResult, RunRecord]
 
 #: The representative protocol the Table I benchmark runs for each category.
 DEFAULT_REPRESENTATIVES: Dict[Category, str] = {
@@ -33,14 +38,14 @@ def category_of_protocol(protocol_name: str) -> Category:
     return global_registry.category_of(protocol_name)
 
 
-def category_comparison(results: Iterable[RunResult]) -> List[Dict[str, object]]:
+def category_comparison(results: Iterable[AnyResult]) -> List[Dict[str, object]]:
     """Aggregate run results into one row per (scenario, category).
 
     Multiple protocols of the same category in the same scenario are averaged.
     Each row also carries the paper's qualitative pros/cons so reports can
     print the claim next to the measurement.
     """
-    grouped: Dict[tuple, List[RunResult]] = {}
+    grouped: Dict[tuple, List[AnyResult]] = {}
     for result in results:
         category = category_of_protocol(result.protocol)
         grouped.setdefault((result.scenario_name, category), []).append(result)
@@ -74,8 +79,8 @@ def category_comparison(results: Iterable[RunResult]) -> List[Dict[str, object]]
 
 
 def best_in_metric(
-    results: Sequence[RunResult], metric: str, largest: bool = True
-) -> Optional[RunResult]:
+    results: Sequence[AnyResult], metric: str, largest: bool = True
+) -> Optional[AnyResult]:
     """The run with the best value of ``metric`` (None for an empty sequence)."""
     if not results:
         return None

@@ -1,10 +1,13 @@
-"""Plain-text tables and CSV output for benchmark results."""
+"""Plain-text tables and machine-readable (CSV / JSON) benchmark artifacts."""
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.harness.sweep import SweepResult
 
 
 def _format_value(value: object, precision: int) -> str:
@@ -64,6 +67,45 @@ def rows_to_csv(
         writer.writeheader()
         for row in rows:
             writer.writerow(row)
+
+
+def rows_to_json(
+    path: Union[str, Path],
+    rows: Sequence[Dict[str, object]],
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write result rows as a JSON artifact (``{"metadata": ..., "rows": [...]}``).
+
+    The companion of :func:`rows_to_csv` for pipelines that want typed values
+    back instead of CSV strings.
+    """
+    payload = {"metadata": metadata or {}, "rows": list(rows)}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def rows_from_json(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read back the rows written by :func:`rows_to_json`."""
+    payload = json.loads(Path(path).read_text())
+    return list(payload.get("rows", []))
+
+
+def sweep_to_json(path: Union[str, Path], result: SweepResult) -> None:
+    """Persist a replicated sweep (per-run records plus aggregates) to JSON."""
+    Path(path).write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+
+
+def sweep_from_json(path: Union[str, Path]) -> SweepResult:
+    """Load a sweep persisted by :func:`sweep_to_json`."""
+    return SweepResult.from_dict(json.loads(Path(path).read_text()))
+
+
+def sweep_to_csv(
+    path: Union[str, Path],
+    result: SweepResult,
+    metric_names: Optional[Sequence[str]] = None,
+) -> None:
+    """Write the aggregated rows of a replicated sweep to CSV."""
+    rows_to_csv(path, result.rows(metric_names))
 
 
 def summarize_results(rows: Iterable[Dict[str, object]], group_key: str) -> List[Dict[str, object]]:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.geometry import Vec2
@@ -38,6 +38,65 @@ from repro.harness.scenario import FlowSpec, Scenario, ScenarioKind
 
 
 @dataclass
+class RunRecord:
+    """Slim, picklable outcome of one (scenario, protocol, seed) run.
+
+    This is the unit of data the parallel sweep layer ships between worker
+    processes and persists to JSON/CSV: it carries the metric dictionaries
+    but not the live :class:`~repro.sim.statistics.StatsCollector` (which
+    references simulation objects and is expensive to serialise).
+    """
+
+    scenario_name: str
+    protocol: str
+    seed: int
+    summary: Dict[str, float]
+    extra: Dict[str, float] = field(default_factory=dict)
+    flow_details: List[Dict[str, float]] = field(default_factory=list)
+    vehicle_count: int = 0
+    rsu_count: int = 0
+    wall_clock_s: float = 0.0
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """Summary and derived metrics merged into one flat dictionary."""
+        merged = dict(self.summary)
+        merged.update(self.extra)
+        return merged
+
+    def row(self) -> Dict[str, float]:
+        """Flat row (scenario + protocol + seed + headline metrics) for reporting."""
+        row: Dict[str, float] = {
+            "scenario": self.scenario_name,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "vehicles": self.vehicle_count,
+            "rsus": self.rsu_count,
+        }
+        row.update(self.metrics)
+        return row
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (see :func:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunRecord":
+        """Rebuild a record written by :meth:`to_dict`."""
+        return cls(
+            scenario_name=str(payload["scenario_name"]),
+            protocol=str(payload["protocol"]),
+            seed=int(payload["seed"]),
+            summary=dict(payload.get("summary", {})),
+            extra=dict(payload.get("extra", {})),
+            flow_details=[dict(flow) for flow in payload.get("flow_details", [])],
+            vehicle_count=int(payload.get("vehicle_count", 0)),
+            rsu_count=int(payload.get("rsu_count", 0)),
+            wall_clock_s=float(payload.get("wall_clock_s", 0.0)),
+        )
+
+
+@dataclass
 class RunResult:
     """Outcome of one (scenario, protocol) run."""
 
@@ -50,6 +109,7 @@ class RunResult:
     rsu_count: int = 0
     wall_clock_s: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    seed: int = 0
 
     @property
     def delivery_ratio(self) -> float:
@@ -73,6 +133,20 @@ class RunResult:
         row.update(self.extra)
         return row
 
+    def to_record(self) -> RunRecord:
+        """The slim, picklable form of this result (drops the stats object)."""
+        return RunRecord(
+            scenario_name=self.scenario_name,
+            protocol=self.protocol,
+            seed=self.seed,
+            summary=dict(self.summary),
+            extra=dict(self.extra),
+            flow_details=[dict(flow) for flow in self.flow_details],
+            vehicle_count=self.vehicle_count,
+            rsu_count=self.rsu_count,
+            wall_clock_s=self.wall_clock_s,
+        )
+
 
 class BuiltScenario:
     """A scenario instantiated into live simulation objects (pre-run)."""
@@ -94,6 +168,12 @@ class BuiltScenario:
         self.vehicle_nodes = vehicle_nodes
         self.road_graph = road_graph
         self.trace = trace
+        #: Lower-bound hop count sampled at each packet-send instant, keyed
+        #: by the packet's end-to-end identity (``Packet.flow_key``); used by
+        #: :meth:`ExperimentRunner._derive_extra` to estimate the path
+        #: stretch.  Lives here (not on the runner) so that reusing one
+        #: runner across runs can never leak samples between runs.
+        self.ideal_hop_samples: Dict[Tuple, float] = {}
 
 
 class ExperimentRunner:
@@ -119,7 +199,7 @@ class ExperimentRunner:
             trace=trace,
             spatial_backend=scenario.spatial_backend,
         )
-        mobility, road_graph = self._build_mobility(scenario)
+        mobility, road_graph = self._build_mobility(scenario, sim)
         network = Network(
             sim,
             medium=medium,
@@ -156,7 +236,9 @@ class ExperimentRunner:
             )
         raise ValueError(f"unknown propagation model {radio.propagation!r}")
 
-    def _build_mobility(self, scenario: Scenario) -> Tuple[object, Optional[RoadGraph]]:
+    def _build_mobility(
+        self, scenario: Scenario, sim: Simulator
+    ) -> Tuple[object, Optional[RoadGraph]]:
         if scenario.kind is ScenarioKind.HIGHWAY:
             mobility = make_highway_scenario(
                 scenario.density,
@@ -180,7 +262,9 @@ class ExperimentRunner:
             )
             return mobility, graph
         if scenario.kind is ScenarioKind.RANDOM_WAYPOINT:
-            mobility = RandomWaypointMobility(RandomWaypointConfig())
+            mobility = RandomWaypointMobility(
+                RandomWaypointConfig(), rng=sim.rng.stream("mobility")
+            )
             count = scenario.max_vehicles if scenario.max_vehicles is not None else 50
             for _ in range(count):
                 mobility.add_vehicle()
@@ -241,6 +325,7 @@ class ExperimentRunner:
             rsu_count=len(built.network.rsus),
             wall_clock_s=time.perf_counter() - started_wall,
             extra=extra,
+            seed=scenario.seed,
         )
         return result
 
@@ -264,9 +349,6 @@ class ExperimentRunner:
         vehicles = built.vehicle_nodes
         if len(vehicles) < 2:
             return flows
-        #: Lower-bound hop counts sampled at every packet-send instant; used
-        #: by :meth:`_derive_extra` to estimate the path stretch.
-        self._ideal_hop_samples: List[float] = []
         for flow_id, spec in enumerate(specs, start=1):
             source_index = spec.source_index
             destination_index = spec.destination_index
@@ -315,7 +397,9 @@ class ExperimentRunner:
         flow_id: int,
         seq: int,
     ) -> None:
-        self._ideal_hop_samples.append(self._ideal_hops(built, source, destination))
+        built.ideal_hop_samples[(source.node_id, flow_id, seq)] = self._ideal_hops(
+            built, source, destination
+        )
         if source.protocol is not None:
             source.protocol.send_data(
                 destination.node_id, size_bytes=size_bytes, flow_id=flow_id, seq=seq
@@ -331,12 +415,26 @@ class ExperimentRunner:
         self, built: BuiltScenario, flows: List[Dict[str, float]]
     ) -> Dict[str, float]:
         extra: Dict[str, float] = {}
-        samples = getattr(self, "_ideal_hop_samples", [])
+        samples = built.ideal_hop_samples
         if flows and samples:
-            extra["mean_ideal_hops"] = sum(samples) / len(samples)
+            extra["mean_ideal_hops"] = sum(samples.values()) / len(samples)
+            # The stretch must compare like with like: ``mean_hops`` only
+            # covers delivered packets, so the ideal-hop denominator is
+            # restricted to the same delivered population (dividing by the
+            # all-sent mean deflated the stretch whenever long-distance
+            # packets were the ones that got lost).
+            delivered = [
+                samples[key]
+                for flow in built.stats.flows.values()
+                for key in flow.delivered_keys
+                if key in samples
+            ]
             measured = built.stats.mean_hops
-            if measured > 0 and extra["mean_ideal_hops"] > 0:
-                extra["path_stretch"] = measured / extra["mean_ideal_hops"]
+            if measured > 0 and delivered:
+                mean_delivered_ideal = sum(delivered) / len(delivered)
+                extra["path_stretch"] = (
+                    measured / mean_delivered_ideal if mean_delivered_ideal > 0 else 0.0
+                )
             else:
                 extra["path_stretch"] = 0.0
         return extra

@@ -1,15 +1,339 @@
-"""Parameter sweeps over scenarios and protocols."""
+"""Parameter sweeps over scenarios, protocols and replication seeds.
+
+The paper's category comparison (Table I / Figs. 2-6) is only meaningful when
+every (scenario, protocol) cell is replicated over several random seeds.  This
+module provides the machinery for that:
+
+* :func:`build_matrix` expands scenarios x protocols x seeds into an explicit
+  list of :class:`SweepCell` run descriptions,
+* :func:`execute_cells` runs any picklable cell list through a worker
+  function, either serially or across a ``ProcessPoolExecutor``, always
+  returning results in cell order (so parallel and serial execution are
+  byte-identical),
+* :func:`aggregate_records` folds the per-seed
+  :class:`~repro.harness.runner.RunRecord` list into per-cell
+  :class:`ReplicatedResult` objects (per-metric mean / stddev / 95% CI),
+* :func:`sweep_replications` ties it all together and returns a
+  :class:`SweepResult`.
+
+The single-scenario helpers (:func:`sweep_protocols`, :func:`sweep_densities`,
+:func:`sweep_scenarios`) remain for interactive use; they run in-process and
+return rich :class:`~repro.harness.runner.RunResult` objects that still carry
+the live stats collector.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.harness.runner import ExperimentRunner, RunResult
+from repro.harness.runner import ExperimentRunner, RunRecord, RunResult
 from repro.harness.scenario import Scenario
 from repro.mobility.generator import TrafficDensity
 from repro.protocols.base import ProtocolConfig
 
+_CellT = TypeVar("_CellT")
+_ResultT = TypeVar("_ResultT")
 
+#: Two-sided 95% Student-t critical values by degrees of freedom.  Replication
+#: counts are small (a handful of seeds per cell), where the normal
+#: approximation badly understates the interval; beyond df=30 the normal
+#: z-value is accurate to < 2%.
+_T95: Dict[int, float] = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+_Z95 = 1.960
+
+
+def t_critical_95(n: int) -> float:
+    """Two-sided 95% t critical value for a sample of size ``n``."""
+    df = n - 1
+    if df < 1:
+        return 0.0
+    return _T95.get(df, _Z95)
+
+
+# --------------------------------------------------------------- run matrix
+@dataclass(frozen=True)
+class SweepCell:
+    """One run of the matrix: a scenario (carrying its seed) under one protocol."""
+
+    scenario: Scenario
+    protocol: str
+    protocol_config: Optional[ProtocolConfig] = None
+
+
+def build_matrix(
+    scenarios: Sequence[Scenario],
+    protocol_names: Sequence[str],
+    seeds: Sequence[int],
+    protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
+) -> List[SweepCell]:
+    """Expand scenarios x protocols x seeds into an explicit cell list.
+
+    The matrix order is deterministic (scenario-major, then protocol, then
+    seed), which fixes both the execution schedule and the ordering of every
+    downstream report.
+    """
+    if not seeds:
+        raise ValueError("at least one replication seed is required")
+    if len(set(seeds)) != len(seeds):
+        # Repeating a seed reruns the identical deterministic cell: the
+        # aggregate would report extra replications with zero added variance.
+        raise ValueError("replication seeds must be unique")
+    names = [scenario.name for scenario in scenarios]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        # Aggregation groups by (scenario name, protocol); scenarios sharing
+        # a name would be merged into one cell and corrupt the statistics.
+        raise ValueError(f"scenario names must be unique, duplicated: {duplicates}")
+    configs = protocol_configs or {}
+    cells: List[SweepCell] = []
+    for scenario in scenarios:
+        for protocol in protocol_names:
+            for seed in seeds:
+                cells.append(
+                    SweepCell(
+                        scenario=scenario.with_overrides(seed=seed),
+                        protocol=protocol,
+                        protocol_config=configs.get(protocol),
+                    )
+                )
+    return cells
+
+
+def run_cell(cell: SweepCell) -> RunRecord:
+    """Execute one cell in a fresh runner and return its picklable record.
+
+    Module-level (not a closure) so ``ProcessPoolExecutor`` can ship it to
+    worker processes; a fresh :class:`ExperimentRunner` per cell guarantees
+    runs cannot contaminate each other through runner state.
+    """
+    runner = ExperimentRunner()
+    result = runner.run(cell.scenario, cell.protocol, protocol_config=cell.protocol_config)
+    return result.to_record()
+
+
+def execute_cells(
+    cells: Sequence[_CellT],
+    worker: Callable[[_CellT], _ResultT],
+    workers: int = 1,
+    mp_context=None,
+) -> List[_ResultT]:
+    """Run ``worker`` over every cell, serially or across processes.
+
+    Results are always returned in cell order regardless of which worker
+    finishes first, so ``workers=N`` and ``workers=1`` produce identical
+    output for a deterministic worker.  ``worker`` and the cells must be
+    picklable when ``workers > 1``.
+    """
+    if workers <= 1:
+        return [worker(cell) for cell in cells]
+    max_workers = min(workers, len(cells)) or 1
+    with ProcessPoolExecutor(max_workers=max_workers, mp_context=mp_context) as pool:
+        return list(pool.map(worker, cells))
+
+
+# -------------------------------------------------------------- aggregation
+@dataclass(frozen=True)
+class MetricAggregate:
+    """Mean / spread of one metric over the replication seeds of a cell."""
+
+    mean: float
+    stddev: float
+    ci95: float
+    n: int
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"mean": self.mean, "stddev": self.stddev, "ci95": self.ci95, "n": self.n}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "MetricAggregate":
+        return cls(
+            mean=float(payload["mean"]),
+            stddev=float(payload["stddev"]),
+            ci95=float(payload["ci95"]),
+            n=int(payload["n"]),
+        )
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricAggregate":
+        """Aggregate raw per-seed values (sample stddev, Student-t 95% CI)."""
+        n = len(values)
+        if n == 0:
+            return cls(0.0, 0.0, 0.0, 0)
+        mean = sum(values) / n
+        if n < 2:
+            return cls(mean, 0.0, 0.0, n)
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        stddev = math.sqrt(variance)
+        ci95 = t_critical_95(n) * stddev / math.sqrt(n)
+        return cls(mean, stddev, ci95, n)
+
+
+#: Metrics surfaced by default in replicated report rows.
+HEADLINE_METRICS: Tuple[str, ...] = (
+    "delivery_ratio",
+    "mean_delay_s",
+    "mean_hops",
+    "overhead_ratio",
+    "transmissions_per_delivery",
+    "mac_collisions",
+)
+
+
+@dataclass
+class ReplicatedResult:
+    """Per-(scenario, protocol) aggregate over replication seeds."""
+
+    scenario_name: str
+    protocol: str
+    seeds: Tuple[int, ...]
+    metrics: Dict[str, MetricAggregate]
+
+    @property
+    def replications(self) -> int:
+        """Number of seeds aggregated into this cell."""
+        return len(self.seeds)
+
+    def metric(self, name: str) -> MetricAggregate:
+        """The aggregate for ``name`` (zeros if the metric never appeared)."""
+        return self.metrics.get(name, MetricAggregate(0.0, 0.0, 0.0, 0))
+
+    def row(self, metric_names: Optional[Sequence[str]] = None) -> Dict[str, object]:
+        """Flat report row: ``<metric>_mean`` / ``<metric>_ci95`` / ``<metric>_n``.
+
+        The per-metric ``_n`` matters because a metric may be absent from
+        some seeds' records (e.g. ``path_stretch`` when a run delivers
+        nothing) and is then aggregated over fewer than ``replications``
+        runs.
+        """
+        selected = list(metric_names) if metric_names is not None else list(HEADLINE_METRICS)
+        row: Dict[str, object] = {
+            "scenario": self.scenario_name,
+            "protocol": self.protocol,
+            "replications": self.replications,
+        }
+        for name in selected:
+            aggregate = self.metric(name)
+            row[f"{name}_mean"] = aggregate.mean
+            row[f"{name}_ci95"] = aggregate.ci95
+            row[f"{name}_n"] = aggregate.n
+        return row
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario_name": self.scenario_name,
+            "protocol": self.protocol,
+            "seeds": list(self.seeds),
+            "metrics": {name: agg.to_dict() for name, agg in sorted(self.metrics.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ReplicatedResult":
+        return cls(
+            scenario_name=str(payload["scenario_name"]),
+            protocol=str(payload["protocol"]),
+            seeds=tuple(int(seed) for seed in payload.get("seeds", [])),
+            metrics={
+                str(name): MetricAggregate.from_dict(agg)
+                for name, agg in payload.get("metrics", {}).items()
+            },
+        )
+
+
+def aggregate_records(records: Iterable[RunRecord]) -> List[ReplicatedResult]:
+    """Fold per-seed records into one :class:`ReplicatedResult` per cell.
+
+    Cells appear in first-seen order; within a cell, every metric present in
+    any seed's record is aggregated over the seeds that report it.
+    """
+    grouped: Dict[Tuple[str, str], List[RunRecord]] = {}
+    for record in records:
+        grouped.setdefault((record.scenario_name, record.protocol), []).append(record)
+    replicated: List[ReplicatedResult] = []
+    for (scenario_name, protocol), bucket in grouped.items():
+        metric_names = sorted({name for record in bucket for name in record.metrics})
+        metrics = {
+            name: MetricAggregate.of(
+                [record.metrics[name] for record in bucket if name in record.metrics]
+            )
+            for name in metric_names
+        }
+        replicated.append(
+            ReplicatedResult(
+                scenario_name=scenario_name,
+                protocol=protocol,
+                seeds=tuple(record.seed for record in bucket),
+                metrics=metrics,
+            )
+        )
+    return replicated
+
+
+@dataclass
+class SweepResult:
+    """Everything a replicated sweep produced.
+
+    Attributes:
+        records: One :class:`RunRecord` per matrix cell, in matrix order.
+        replicated: Per-(scenario, protocol) aggregates over the seeds.
+    """
+
+    records: List[RunRecord] = field(default_factory=list)
+    replicated: List[ReplicatedResult] = field(default_factory=list)
+
+    def record_rows(self) -> List[Dict[str, object]]:
+        """One flat row per individual run."""
+        return [record.row() for record in self.records]
+
+    def rows(self, metric_names: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
+        """One flat row per aggregated (scenario, protocol) cell."""
+        return [result.row(metric_names) for result in self.replicated]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "records": [record.to_dict() for record in self.records],
+            "replicated": [result.to_dict() for result in self.replicated],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SweepResult":
+        return cls(
+            records=[RunRecord.from_dict(item) for item in payload.get("records", [])],
+            replicated=[
+                ReplicatedResult.from_dict(item) for item in payload.get("replicated", [])
+            ],
+        )
+
+
+def sweep_replications(
+    scenarios: Sequence[Scenario],
+    protocol_names: Sequence[str],
+    seeds: Sequence[int],
+    workers: int = 1,
+    protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
+) -> SweepResult:
+    """Run the full scenario x protocol x seed matrix and aggregate it.
+
+    ``workers=1`` runs serially in-process; ``workers > 1`` fans the cells
+    out over a process pool.  Both schedules produce identical
+    :class:`SweepResult` contents because every cell is seeded explicitly and
+    results are re-assembled in matrix order.
+    """
+    cells = build_matrix(scenarios, protocol_names, seeds, protocol_configs)
+    records = execute_cells(cells, run_cell, workers=workers)
+    return SweepResult(records=records, replicated=aggregate_records(records))
+
+
+# ----------------------------------------------------- single-runner sweeps
 def sweep_protocols(
     scenario: Scenario,
     protocol_names: Sequence[str],

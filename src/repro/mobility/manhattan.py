@@ -34,7 +34,8 @@ class ManhattanConfig:
         min_speed_mps: Lower clamp for speeds.
         p_straight: Probability of continuing straight at an intersection.
         p_turn: Probability of turning (split evenly left/right); the
-            remaining probability mass is a U-turn, used only at dead ends.
+            remaining ``1 - p_straight - p_turn`` probability mass is a
+            U-turn (and a U-turn is also forced at dead ends).
         speed_relaxation: First-order relaxation rate of speed toward the
             desired speed (1/s), adds mild speed fluctuation.
     """
@@ -212,6 +213,10 @@ class ManhattanMobility:
             chosen = straight
         elif turns and draw < cfg.p_straight + cfg.p_turn:
             chosen = self._rng.choice(turns)
+        elif reverse in options and draw >= cfg.p_straight + cfg.p_turn:
+            # The residual 1 - p_straight - p_turn probability mass is a
+            # U-turn; it must not silently fall through to a turn.
+            chosen = reverse
         elif turns:
             chosen = self._rng.choice(turns)
         elif straight is not None:

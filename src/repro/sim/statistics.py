@@ -56,6 +56,11 @@ class FlowStats:
             return 0.0
         return sum(self.hop_counts) / len(self.hop_counts)
 
+    @property
+    def delivered_keys(self) -> Set[Tuple]:
+        """End-to-end identities (``Packet.flow_key``) of delivered packets."""
+        return set(self._delivered_seqs)
+
 
 class StatsCollector:
     """Accumulates counters for one simulation run."""
@@ -279,6 +284,7 @@ class StatsCollector:
             "mean_hops": self.mean_hops,
             "control_transmissions": float(self.control_transmissions),
             "control_bytes": float(self.control_bytes),
+            "data_bytes": float(self.data_bytes),
             "beacon_transmissions": float(self.beacon_transmissions),
             "discovery_transmissions": float(self.discovery_transmissions),
             "data_transmissions": float(self.data_transmissions),
@@ -289,6 +295,7 @@ class StatsCollector:
             "mac_queue_drops": float(self.mac_queue_drops),
             "ttl_drops": float(self.ttl_drops),
             "no_route_drops": float(self.no_route_drops),
+            "buffer_drops": float(self.buffer_drops),
             "route_discoveries_started": float(self.route_discoveries_started),
             "route_discoveries_completed": float(self.route_discoveries_completed),
             "mean_route_discovery_latency_s": self.mean_route_discovery_latency,

@@ -121,6 +121,67 @@ class TestRunner:
         result = runner.run(scenario, "Flooding")
         assert result.summary["data_sent"] > 0
 
+    def _waypoint_scenario(self, seed: int) -> Scenario:
+        return Scenario(
+            name="rwp",
+            kind=ScenarioKind.RANDOM_WAYPOINT,
+            duration_s=10.0,
+            max_vehicles=12,
+            default_flow_count=2,
+            seed=seed,
+        )
+
+    def _waypoint_positions(self, seed: int):
+        built = ExperimentRunner().build(self._waypoint_scenario(seed))
+        mobility = built.network.mobility
+        for _ in range(10):
+            mobility.step(0.5)
+        return [(v.position.x, v.position.y) for v in mobility.vehicles]
+
+    def test_random_waypoint_trajectories_follow_scenario_seed(self):
+        """Regression: random-waypoint mobility used a fixed Random(0)
+        regardless of ``scenario.seed``, so every seed produced the same
+        trajectories."""
+        assert self._waypoint_positions(3) == self._waypoint_positions(3)
+        assert self._waypoint_positions(3) != self._waypoint_positions(77)
+
+    def test_random_waypoint_runs_differ_across_seeds(self):
+        runner = ExperimentRunner()
+        first = runner.run(self._waypoint_scenario(3), "Flooding")
+        second = runner.run(self._waypoint_scenario(77), "Flooding")
+        assert first.summary != second.summary
+
+    def test_ideal_hop_samples_do_not_leak_across_runs(self):
+        """Regression: the ideal-hop samples lived on the runner and were not
+        reset on the <2-vehicle early return, so a reused runner carried the
+        previous run's samples around."""
+        runner = ExperimentRunner()
+        first = runner.run(_small_scenario(), "Greedy")
+        assert "mean_ideal_hops" in first.extra
+        # A run with a single vehicle schedules no flows; it must neither
+        # report path metrics nor retain samples from the previous run.
+        lonely = runner.run(_small_scenario(max_vehicles=1), "Greedy")
+        assert "mean_ideal_hops" not in lonely.extra
+        assert "path_stretch" not in lonely.extra
+        assert not getattr(runner, "_ideal_hop_samples", [])
+        # And the fix must not disturb a following normal run.
+        second = runner.run(_small_scenario(), "Greedy")
+        assert second.extra["mean_ideal_hops"] == pytest.approx(
+            first.extra["mean_ideal_hops"]
+        )
+
+    def test_run_result_to_record_round_trip(self):
+        runner = ExperimentRunner()
+        result = runner.run(_small_scenario(), "Greedy")
+        record = result.to_record()
+        assert record.seed == 3
+        assert record.scenario_name == result.scenario_name
+        assert record.summary == result.summary
+        assert record.extra == result.extra
+        assert record.metrics["delivery_ratio"] == result.summary["delivery_ratio"]
+        rebuilt = type(record).from_dict(record.to_dict())
+        assert rebuilt == record
+
 
 class TestSweeps:
     def test_sweep_protocols_returns_one_result_each(self):

@@ -122,6 +122,45 @@ class TestManhattan:
             angle = vehicle.heading % (math.pi / 2.0)
             assert min(angle, math.pi / 2.0 - angle) < 1e-6
 
+    def test_turn_distribution_honours_configured_split(self):
+        """Regression: with p_straight + p_turn < 1 the residual probability
+        mass must become U-turns, not be silently reassigned to turns."""
+        config = ManhattanConfig(
+            blocks_x=4, blocks_y=4, block_size_m=200.0, p_straight=0.4, p_turn=0.4
+        )
+        mobility = ManhattanMobility(config, rng=random.Random(7))
+        vehicle = mobility.add_vehicle(position=Vec2(400.0, 400.0))
+        counts = {"straight": 0, "turn": 0, "uturn": 0}
+        draws = 20_000
+        for _ in range(draws):
+            # Re-pin the vehicle to an interior intersection heading east so
+            # every draw chooses among the same four options.
+            vehicle.position = Vec2(400.0, 400.0)
+            mobility._directions[vehicle.vid] = (1, 0)
+            mobility._choose_direction(vehicle)
+            chosen = mobility._directions[vehicle.vid]
+            if chosen == (1, 0):
+                counts["straight"] += 1
+            elif chosen == (-1, 0):
+                counts["uturn"] += 1
+            else:
+                counts["turn"] += 1
+        assert counts["straight"] / draws == pytest.approx(0.4, abs=0.02)
+        assert counts["turn"] / draws == pytest.approx(0.4, abs=0.02)
+        assert counts["uturn"] / draws == pytest.approx(0.2, abs=0.02)
+
+    def test_full_split_never_uturns_at_interior_intersection(self):
+        """With p_straight + p_turn == 1 (the default) an interior
+        intersection never produces a U-turn."""
+        config = ManhattanConfig(blocks_x=4, blocks_y=4, block_size_m=200.0)
+        mobility = ManhattanMobility(config, rng=random.Random(11))
+        vehicle = mobility.add_vehicle(position=Vec2(400.0, 400.0))
+        for _ in range(2_000):
+            vehicle.position = Vec2(400.0, 400.0)
+            mobility._directions[vehicle.vid] = (1, 0)
+            mobility._choose_direction(vehicle)
+            assert mobility._directions[vehicle.vid] != (-1, 0)
+
 
 class TestRandomWaypoint:
     def test_nodes_stay_in_area(self):

@@ -121,6 +121,36 @@ class TestRoutingEvents:
         assert summary["mac_queue_drops"] == 1
         assert summary["ttl_drops"] == 1
         assert summary["no_route_drops"] == 1
+        assert summary["buffer_drops"] == 1
+
+    def test_summary_covers_every_scalar_counter(self, stats):
+        """Every integer counter on the collector must surface in summary().
+
+        Regression test: ``buffer_drops`` (and ``data_bytes``) were counted
+        but silently missing from the summary, so store-carry protocols could
+        drop packets without the loss ever appearing in reports.
+        """
+        summary = stats.summary()
+        scalar_counters = [
+            name
+            for name, value in vars(stats).items()
+            if isinstance(value, int) and not isinstance(value, bool)
+        ]
+        missing = [name for name in scalar_counters if name not in summary]
+        assert not missing, f"counters absent from summary(): {missing}"
+
+    def test_loss_counters_all_reported(self, stats):
+        loss_counters = (
+            "mac_collisions",
+            "phy_weak_signal",
+            "mac_queue_drops",
+            "ttl_drops",
+            "no_route_drops",
+            "buffer_drops",
+        )
+        summary = stats.summary()
+        for counter in loss_counters:
+            assert counter in summary
 
 
 class TestEventTrace:

@@ -25,6 +25,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_sweep_subcommand_defaults(self):
+        args = build_parser().parse_args(["sweep", "AODV", "Greedy"])
+        assert args.command == "sweep"
+        assert args.protocols == ["AODV", "Greedy"]
+        assert args.seeds == [1, 2, 3]
+        assert args.workers == 1
+
+    def test_sweep_subcommand_accepts_seeds_and_workers(self):
+        args = build_parser().parse_args(
+            ["sweep", "Greedy", "--seeds", "4", "5", "--workers", "2", "--json", "out.json"]
+        )
+        assert args.seeds == [4, 5]
+        assert args.workers == 2
+        assert args.json == "out.json"
+
 
 class TestCommands:
     def test_protocols_lists_all_categories(self, capsys):
@@ -77,3 +92,40 @@ class TestCommands:
 
     def test_compare_unknown_protocol_fails(self, capsys):
         assert main(["compare", "Greedy", "Bogus"]) == 2
+
+    def test_sweep_small_matrix_parallel(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        json_path = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "Greedy",
+                "Flooding",
+                "--seeds", "1", "2",
+                "--workers", "2",
+                "--duration", "6",
+                "--max-vehicles", "15",
+                "--flows", "2",
+                "--packets-per-flow", "3",
+                "--density", "sparse",
+                "--csv", str(csv_path),
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "delivery_ratio_mean" in output
+        assert "Greedy" in output and "Flooding" in output
+        assert "delivery_ratio_ci95" in csv_path.read_text()
+        from repro.harness.reporting import sweep_from_json
+
+        loaded = sweep_from_json(json_path)
+        assert len(loaded.records) == 4  # 2 protocols x 2 seeds
+        assert {r.protocol for r in loaded.replicated} == {"Greedy", "Flooding"}
+
+    def test_sweep_unknown_protocol_fails(self, capsys):
+        assert main(["sweep", "Bogus"]) == 2
+
+    def test_sweep_duplicate_seeds_fail_cleanly(self, capsys):
+        assert main(["sweep", "Greedy", "--seeds", "5", "5"]) == 2
+        assert "unique" in capsys.readouterr().err
