@@ -6,6 +6,10 @@ that flooding and how it scales with vehicle density (the broadcast-storm
 problem, Sec. III.B): control transmissions per discovery grow roughly with
 the number of vehicles, while the number of *useful* packets does not.
 
+Every (density, protocol) cell is replicated over ``FIGURE_SEEDS`` through
+:func:`repro.harness.sweep.sweep_replications`; the table reports per-cell
+means with 95% confidence intervals and the claims are asserted on means.
+
 Expected shape: flooded-discovery control transmissions grow steeply from
 sparse to congested; pure flooding's per-packet data cost grows the same way;
 discovery latency stays small; delivery remains possible at every density.
@@ -13,75 +17,72 @@ discovery latency stays small; delivery remains possible at every density.
 
 from __future__ import annotations
 
-from repro.harness.sweep import sweep_protocols
+from repro.harness.runner import RunRecord
 from repro.mobility.generator import TrafficDensity
 
-from benchmarks.common import RUNNER, narrow_highway, report, run_once
+from benchmarks.common import FIGURE_SEEDS, narrow_highway, replicate, report, run_once
 
 PROTOCOLS = ["AODV", "DSR", "Flooding"]
 DENSITIES = [TrafficDensity.SPARSE, TrafficDensity.NORMAL, TrafficDensity.CONGESTED]
 
+METRICS = [
+    "delivery_ratio",
+    "discovery_transmissions",
+    "data_tx_per_delivery",
+    "mac_collisions",
+    "mean_route_discovery_latency_s",
+    "mean_delay_s",
+]
+
+
+def _derive(record: RunRecord) -> dict:
+    delivered = max(1.0, record.summary["data_delivered"])
+    return {"data_tx_per_delivery": record.summary["data_transmissions"] / delivered}
+
 
 def _run_density_sweep():
-    results = []
-    for density in DENSITIES:
-        scenario = narrow_highway(density, duration_s=20.0, max_vehicles=170, flows=4)
-        results.extend(sweep_protocols(scenario, PROTOCOLS, runner=RUNNER))
-    return results
+    scenarios = [
+        narrow_highway(density, duration_s=20.0, max_vehicles=170, flows=4)
+        for density in DENSITIES
+    ]
+    return replicate(scenarios, PROTOCOLS, seeds=FIGURE_SEEDS, derive=_derive)
 
 
 def test_fig2_connectivity_discovery_cost(benchmark):
     """Route-discovery cost and broadcast-storm growth with density."""
-    results = run_once(benchmark, _run_density_sweep)
+    sweep = run_once(benchmark, _run_density_sweep)
 
-    rows = []
-    for result in results:
-        summary = result.summary
-        delivered = max(1.0, summary["data_delivered"])
-        rows.append(
-            {
-                "scenario": result.scenario_name,
-                "protocol": result.protocol,
-                "vehicles": result.vehicle_count,
-                "delivery_ratio": summary["delivery_ratio"],
-                "discovery_tx": summary["discovery_transmissions"],
-                "data_tx_per_delivery": summary["data_transmissions"] / delivered,
-                "mac_collisions": summary["mac_collisions"],
-                "discovery_latency_s": summary["mean_route_discovery_latency_s"],
-                "mean_delay_s": summary["mean_delay_s"],
-            }
-        )
+    rows = sweep.rows(METRICS)
     report(
         "fig2_connectivity",
         rows,
-        title="Fig. 2 -- connectivity-based discovery cost vs. traffic density",
+        title=(
+            "Fig. 2 -- connectivity-based discovery cost vs. traffic density "
+            f"(mean +- 95% CI over {len(FIGURE_SEEDS)} seeds)"
+        ),
     )
 
     by_key = {(r["scenario"], r["protocol"]): r for r in rows}
 
-    def row(density, protocol):
-        return by_key[(f"highway-{density.value}", protocol)]
+    def mean(density, protocol, metric):
+        return by_key[(f"highway-{density.value}", protocol)][f"{metric}_mean"]
 
     # Broadcast storm: AODV's flooded discovery gets more expensive with density.
-    assert (
-        row(TrafficDensity.CONGESTED, "AODV")["discovery_tx"]
-        > row(TrafficDensity.SPARSE, "AODV")["discovery_tx"]
+    assert mean(TrafficDensity.CONGESTED, "AODV", "discovery_transmissions") > mean(
+        TrafficDensity.SPARSE, "AODV", "discovery_transmissions"
     )
     # Pure flooding pays roughly one transmission per vehicle per packet: its
     # per-packet cost grows with density and exceeds AODV's at every density.
     for density in DENSITIES:
-        assert (
-            row(density, "Flooding")["data_tx_per_delivery"]
-            > row(density, "AODV")["data_tx_per_delivery"]
+        assert mean(density, "Flooding", "data_tx_per_delivery") > mean(
+            density, "AODV", "data_tx_per_delivery"
         )
-    assert (
-        row(TrafficDensity.CONGESTED, "Flooding")["data_tx_per_delivery"]
-        > row(TrafficDensity.SPARSE, "Flooding")["data_tx_per_delivery"]
+    assert mean(TrafficDensity.CONGESTED, "Flooding", "data_tx_per_delivery") > mean(
+        TrafficDensity.SPARSE, "Flooding", "data_tx_per_delivery"
     )
     # Availability: flooding keeps delivering even in congested traffic.
-    assert row(TrafficDensity.CONGESTED, "Flooding")["delivery_ratio"] >= 0.8
+    assert mean(TrafficDensity.CONGESTED, "Flooding", "delivery_ratio") >= 0.8
     # Collisions explode with density for flooding (the storm's mechanism).
-    assert (
-        row(TrafficDensity.CONGESTED, "Flooding")["mac_collisions"]
-        > row(TrafficDensity.SPARSE, "Flooding")["mac_collisions"]
+    assert mean(TrafficDensity.CONGESTED, "Flooding", "mac_collisions") > mean(
+        TrafficDensity.SPARSE, "Flooding", "mac_collisions"
     )

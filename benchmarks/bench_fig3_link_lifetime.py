@@ -18,9 +18,10 @@ import math
 
 from repro.core.link_lifetime import LinkLifetimePredictor, link_lifetime_1d
 from repro.geometry import Vec2
+from repro.harness.sweep import MetricAggregate
 from repro.mobility.generator import TrafficDensity, make_highway_scenario
 
-from benchmarks.common import report, run_once
+from benchmarks.common import FIGURE_SEEDS, report, run_once
 
 RANGE_M = 250.0
 
@@ -55,9 +56,9 @@ def _analytic_sweep():
     return rows
 
 
-def _measured_highway_lifetimes():
+def _measured_highway_lifetimes(seed: int = 5):
     """Observed link durations between IDM vehicles, same vs. opposite direction."""
-    highway = make_highway_scenario(TrafficDensity.NORMAL, seed=5, max_vehicles=60)
+    highway = make_highway_scenario(TrafficDensity.NORMAL, seed=seed, max_vehicles=60)
     predictor = LinkLifetimePredictor(RANGE_M)
     vehicles = highway.vehicles
     # Track link up/down transitions over 120 s of mobility.
@@ -122,15 +123,26 @@ def test_fig3_link_lifetime_model(benchmark):
         )
         assert with_acc["analytic_lifetime_s"] <= no_acc["analytic_lifetime_s"]
 
-    measured = _measured_highway_lifetimes()
+    # The measured counterpart is stochastic (IDM populations differ per
+    # seed), so it is replicated over FIGURE_SEEDS and reported as mean with
+    # a 95% confidence interval per metric.
+    per_seed = [_measured_highway_lifetimes(seed) for seed in FIGURE_SEEDS]
+    measured_row = {}
+    for key in per_seed[0]:
+        aggregate = MetricAggregate.of([run[key] for run in per_seed])
+        measured_row[f"{key}_mean"] = aggregate.mean
+        measured_row[f"{key}_ci95"] = aggregate.ci95
     report(
         "fig3_highway_measured",
-        [measured],
-        title="Fig. 3 (measured) -- observed link durations on the IDM highway",
+        [measured_row],
+        title=(
+            "Fig. 3 (measured) -- observed link durations on the IDM highway "
+            f"(mean +- 95% CI over {len(FIGURE_SEEDS)} seeds)"
+        ),
     )
     # Same-direction links live longer than opposite-direction links, the
     # relationship both Fig. 3 and Sec. IV.A build on.
     assert (
-        measured["same_direction_mean_lifetime_s"]
-        > measured["opposite_direction_mean_lifetime_s"]
+        measured_row["same_direction_mean_lifetime_s_mean"]
+        > measured_row["opposite_direction_mean_lifetime_s_mean"]
     )

@@ -7,60 +7,78 @@ them ("rural area"), delivery collapses to whatever pure vehicle-to-vehicle
 forwarding achieves; and the price is the deployed hardware (RSUs per km)
 plus backbone traffic.
 
-Expected shape: delivery ratio increases monotonically with RSU density;
-the no-RSU point is the worst; backbone transmissions and RSU count grow as
-the spacing shrinks.
+Every spacing is replicated over ``FIGURE_SEEDS`` via
+:func:`repro.harness.sweep.sweep_replications`; the table reports means with
+95% confidence intervals and the claims are asserted on means.
+
+Expected shape: delivery ratio increases with RSU density; the no-RSU point
+is the worst; backbone transmissions and RSU count grow as the spacing
+shrinks.
 """
 
 from __future__ import annotations
 
 from repro.mobility.generator import TrafficDensity
 
-from benchmarks.common import RUNNER, report, run_once, small_highway
+from benchmarks.common import FIGURE_SEEDS, replicate, report, run_once, small_highway
 
 #: RSU spacings swept (None = no infrastructure, the rural case).
 SPACINGS = [None, 1500.0, 1000.0, 500.0, 250.0]
 
+METRICS = [
+    "delivery_ratio",
+    "mean_delay_s",
+    "backbone_transmissions",
+    "store_carry_events",
+    "control_transmissions",
+]
+
+
+def _spacing_label(spacing) -> str:
+    return "none" if spacing is None else f"{int(spacing)}m"
+
 
 def _run_rsu_sweep():
-    results = []
-    for spacing in SPACINGS:
-        scenario = small_highway(
+    scenarios = [
+        small_highway(
             TrafficDensity.SPARSE,
             duration_s=25.0,
             max_vehicles=60,
             flows=5,
-            seed=31,
             rsu_spacing_m=spacing,
+            name=f"sparse-rsu-{_spacing_label(spacing)}",
         )
-        label = "none" if spacing is None else f"{int(spacing)}m"
-        scenario = scenario.with_overrides(name=f"sparse-rsu-{label}")
-        results.append((spacing, RUNNER.run(scenario, "RSU-Relay")))
-    return results
+        for spacing in SPACINGS
+    ]
+    return replicate(scenarios, ["RSU-Relay"], seeds=FIGURE_SEEDS)
 
 
 def test_fig5_rsu_density_sweep(benchmark):
     """Delivery vs. RSU deployment density in sparse traffic."""
-    results = run_once(benchmark, _run_rsu_sweep)
+    sweep = run_once(benchmark, _run_rsu_sweep)
+
+    #: RSU count per scenario (identical across seeds: placement is
+    #: deterministic in the spacing), read off the per-seed records.
+    rsus_deployed = {}
+    for record in sweep.records:
+        rsus_deployed[record.scenario_name] = record.rsu_count
 
     rows = []
-    for spacing, result in results:
-        summary = result.summary
-        rows.append(
-            {
-                "rsu_spacing_m": 0 if spacing is None else spacing,
-                "rsus_deployed": result.rsu_count,
-                "delivery_ratio": summary["delivery_ratio"],
-                "mean_delay_s": summary["mean_delay_s"],
-                "backbone_tx": summary["backbone_transmissions"],
-                "rsu_buffered_packets": summary["store_carry_events"],
-                "control_tx": summary["control_transmissions"],
-            }
-        )
+    for spacing, aggregate in zip(SPACINGS, sweep.replicated):
+        row = {
+            "rsu_spacing_m": 0 if spacing is None else spacing,
+            "rsus_deployed": rsus_deployed[aggregate.scenario_name],
+        }
+        row.update(aggregate.row(METRICS))
+        del row["scenario"], row["protocol"]
+        rows.append(row)
     report(
         "fig5_infrastructure",
         rows,
-        title="Fig. 5 -- RSU relay routing in sparse traffic vs. deployment density",
+        title=(
+            "Fig. 5 -- RSU relay routing in sparse traffic vs. deployment density "
+            f"(mean +- 95% CI over {len(FIGURE_SEEDS)} seeds)"
+        ),
     )
 
     by_spacing = {row["rsu_spacing_m"]: row for row in rows}
@@ -71,12 +89,14 @@ def test_fig5_rsu_density_sweep(benchmark):
     # Infrastructure rescues sparse traffic: full coverage clearly beats the
     # rural (no-RSU) baseline, and the best-covered deployments are the best
     # performers overall.
-    best_with_rsus = max(densest["delivery_ratio"], dense["delivery_ratio"])
-    assert best_with_rsus > no_rsu["delivery_ratio"] + 0.1
-    assert densest["delivery_ratio"] >= no_rsu["delivery_ratio"]
-    assert densest["delivery_ratio"] >= mid["delivery_ratio"] - 0.05
+    best_with_rsus = max(
+        densest["delivery_ratio_mean"], dense["delivery_ratio_mean"]
+    )
+    assert best_with_rsus > no_rsu["delivery_ratio_mean"] + 0.1
+    assert densest["delivery_ratio_mean"] >= no_rsu["delivery_ratio_mean"]
+    assert densest["delivery_ratio_mean"] >= mid["delivery_ratio_mean"] - 0.05
     # ...but costs hardware and backbone traffic.
     assert densest["rsus_deployed"] > mid["rsus_deployed"] > 0
     assert no_rsu["rsus_deployed"] == 0
-    assert no_rsu["backbone_tx"] == 0
-    assert densest["backbone_tx"] > 0
+    assert no_rsu["backbone_transmissions_mean"] == 0
+    assert densest["backbone_transmissions_mean"] > 0

@@ -6,6 +6,10 @@ based forwarding avoids the duplicate transmissions of flooding (only one or
 two nodes per zone retransmit), needs no discovery phase, but pays a constant
 beacon overhead and does not find optimal paths (path stretch > 1).
 
+Every protocol is replicated over ``FIGURE_SEEDS`` via
+:func:`repro.harness.sweep.sweep_replications`; the table reports means with
+95% confidence intervals and the claims are asserted on means.
+
 Expected shape: data transmissions per delivered packet are a small multiple
 of the hop count for Greedy/Grid-Gateway/Zone, versus roughly one per vehicle
 for flooding; beacon overhead is non-zero even for idle protocols; path
@@ -14,43 +18,46 @@ stretch is above 1.
 
 from __future__ import annotations
 
-from repro.harness.sweep import sweep_protocols
+from repro.harness.runner import RunRecord
 from repro.mobility.generator import TrafficDensity
 
-from benchmarks.common import RUNNER, report, run_once, small_highway
+from benchmarks.common import FIGURE_SEEDS, replicate, report, run_once, small_highway
 
 PROTOCOLS = ["Greedy", "Zone", "Grid-Gateway", "Flooding"]
 
+METRICS = [
+    "delivery_ratio",
+    "data_tx_per_delivery",
+    "beacon_transmissions",
+    "discovery_transmissions",
+    "mean_hops",
+    "path_stretch",
+    "mean_delay_s",
+]
+
+
+def _derive(record: RunRecord) -> dict:
+    delivered = max(1.0, record.summary["data_delivered"])
+    return {"data_tx_per_delivery": record.summary["data_transmissions"] / delivered}
+
 
 def _run_geographic_comparison():
-    scenario = small_highway(TrafficDensity.NORMAL, max_vehicles=100, flows=5, seed=41)
-    return sweep_protocols(scenario, PROTOCOLS, runner=RUNNER)
+    scenario = small_highway(TrafficDensity.NORMAL, max_vehicles=100, flows=5)
+    return replicate([scenario], PROTOCOLS, seeds=FIGURE_SEEDS, derive=_derive)
 
 
 def test_fig6_geographic_routing(benchmark):
     """Duplicate suppression, beacon overhead and path stretch of geographic routing."""
-    results = run_once(benchmark, _run_geographic_comparison)
+    sweep = run_once(benchmark, _run_geographic_comparison)
 
-    rows = []
-    for result in results:
-        summary = result.summary
-        delivered = max(1.0, summary["data_delivered"])
-        rows.append(
-            {
-                "protocol": result.protocol,
-                "delivery_ratio": summary["delivery_ratio"],
-                "data_tx_per_delivery": summary["data_transmissions"] / delivered,
-                "beacon_tx": summary["beacon_transmissions"],
-                "discovery_tx": summary["discovery_transmissions"],
-                "mean_hops": summary["mean_hops"],
-                "path_stretch": result.extra.get("path_stretch", 0.0),
-                "mean_delay_s": summary["mean_delay_s"],
-            }
-        )
+    rows = sweep.rows(METRICS)
     report(
         "fig6_geographic",
         rows,
-        title="Fig. 6 -- geographic routing vs. flooding (duplicates, beacons, stretch)",
+        title=(
+            "Fig. 6 -- geographic routing vs. flooding (duplicates, beacons, stretch; "
+            f"mean +- 95% CI over {len(FIGURE_SEEDS)} seeds)"
+        ),
     )
 
     by_name = {row["protocol"]: row for row in rows}
@@ -58,22 +65,25 @@ def test_fig6_geographic_routing(benchmark):
     # Every geographic scheme forwards each packet over far fewer transmissions
     # than flooding (duplicate suppression through zones/gateways/greedy).
     for name in ("Greedy", "Zone", "Grid-Gateway"):
-        assert by_name[name]["data_tx_per_delivery"] < flooding["data_tx_per_delivery"]
+        assert (
+            by_name[name]["data_tx_per_delivery_mean"]
+            < flooding["data_tx_per_delivery_mean"]
+        )
     # Greedy and gateway forwarding are unicast chains: per-delivery cost is a
     # small multiple of the hop count (hops, MAC retries and the transmissions
     # spent on packets that were ultimately lost), far from flooding's
     # one-transmission-per-vehicle regime.
-    assert by_name["Greedy"]["data_tx_per_delivery"] < 5.0 * max(
-        1.0, by_name["Greedy"]["mean_hops"]
+    assert by_name["Greedy"]["data_tx_per_delivery_mean"] < 5.0 * max(
+        1.0, by_name["Greedy"]["mean_hops_mean"]
     )
     # Position-based protocols beacon even when idle; flooding does not.
-    assert by_name["Greedy"]["beacon_tx"] > 0
-    assert flooding["beacon_tx"] == 0
+    assert by_name["Greedy"]["beacon_transmissions_mean"] > 0
+    assert flooding["beacon_transmissions_mean"] == 0
     # No discovery phase, unlike connectivity-based routing.
-    assert by_name["Greedy"]["discovery_tx"] == 0
+    assert by_name["Greedy"]["discovery_transmissions_mean"] == 0
     # Paths are not optimal: the measured hop count is around or above the
     # straight-line lower bound (the bound itself is loose because vehicles
     # move between the send and the delivery, so allow a small slack), and
     # never anywhere near flooding's exploration of every node.
     for name in ("Greedy", "Grid-Gateway"):
-        assert 0.85 <= by_name[name]["path_stretch"] <= 3.0
+        assert 0.85 <= by_name[name]["path_stretch_mean"] <= 3.0

@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.harness.reporting import format_table, rows_to_csv, rows_to_json, sweep_to_json
-from repro.harness.runner import ExperimentRunner
+from repro.harness.runner import ExperimentRunner, RunRecord
 from repro.harness.scenario import FlowSpec, Scenario, highway_scenario, manhattan_scenario
+from repro.harness.scenarios import scenario_from_name
+from repro.harness.sweep import SweepResult, aggregate_records, sweep_replications
 from repro.mobility.generator import TrafficDensity
 from repro.mobility.highway import HighwayConfig
 
@@ -23,6 +25,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: One shared runner; scenarios carry their own seeds so runs stay independent.
 RUNNER = ExperimentRunner()
+
+#: Replication seeds shared by the figure benchmarks (>= 5 per cell, so the
+#: reported 95% confidence intervals rest on a real t-distribution sample).
+FIGURE_SEEDS = (21, 22, 23, 24, 25)
 
 
 def sweep_workers(var: str = "REPRO_SWEEP_WORKERS", default: int = 1) -> int:
@@ -109,6 +115,36 @@ def small_manhattan(
         flow_template=FlowSpec(start_time_s=5.0, interval_s=1.0, packet_count=12),
     )
     return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def preset(name: str, **overrides) -> Scenario:
+    """A named preset from the scenario registry, with benchmark overrides."""
+    return scenario_from_name(name, **overrides)
+
+
+def replicate(
+    scenarios: Sequence[Scenario],
+    protocols: Sequence[str],
+    seeds: Sequence[int] = FIGURE_SEEDS,
+    derive: Optional[Callable[[RunRecord], Dict[str, float]]] = None,
+    workers: Optional[int] = None,
+) -> SweepResult:
+    """Run the scenario x protocol x seed matrix and aggregate 95% CIs.
+
+    ``derive`` maps each per-seed record to extra derived metrics (e.g.
+    transmissions per delivered packet); deriving *before* aggregation means
+    ratios are averaged per run instead of being computed from averaged
+    numerators and denominators.
+    """
+    workers = workers if workers is not None else sweep_workers()
+    sweep = sweep_replications(
+        list(scenarios), list(protocols), seeds=list(seeds), workers=workers
+    )
+    if derive is not None:
+        for record in sweep.records:
+            record.extra.update(derive(record))
+        sweep.replicated = aggregate_records(sweep.records)
+    return sweep
 
 
 def report(

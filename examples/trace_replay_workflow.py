@@ -1,17 +1,24 @@
-"""Trace workflow: record a floating-car-data trace, replay it, route over it.
+"""Trace workflow: record a floating-car-data trace and replay it as a scenario.
 
 Real VANET studies drive their simulations from SUMO floating-car-data (FCD)
 exports.  Offline we substitute traces recorded from our own mobility models
 (see DESIGN.md), but the workflow is identical: record (or import) a trace,
-replay it as the mobility substrate, and run any routing protocol on top.
-This example records a 60 s highway trace to CSV, reloads it, and compares a
-protocol running on the live IDM model against the same protocol running on
-the replayed trace -- the results match because the replay reproduces the
-same vehicle motion.
+then run it like any other scenario -- since the scenario registry, a trace
+is a first-class scenario kind (``kind="trace"`` / ``trace:<path>``), so the
+whole harness (runner, sweeps, CLI) applies unchanged.
+
+This example records the exact highway mobility the runner would build for a
+given scenario seed, replays the file through ``trace_scenario()``, and runs
+the same protocol both ways: because the recording grid matches the mobility
+step, the replayed vehicles move identically and the metrics agree.
 
 Run with::
 
     python examples/trace_replay_workflow.py
+
+The same file is also runnable straight from the CLI::
+
+    python -m repro.cli run Greedy --scenario trace:/tmp/repro_highway_trace.csv
 """
 
 from __future__ import annotations
@@ -19,86 +26,79 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.harness import format_table
-from repro.mobility.fcd_trace import (
-    TraceReplayMobility,
-    read_fcd_trace,
-    record_fcd_trace,
-    write_fcd_trace,
-)
+from repro.harness import ExperimentRunner, format_table, highway_scenario, trace_scenario
+from repro.mobility.fcd_trace import record_fcd_trace, write_fcd_trace
 from repro.mobility.generator import TrafficDensity, make_highway_scenario
-from repro.mobility.vehicle import VehiclePositionProvider
-from repro.protocols.registry import make_protocol_factory
-from repro.sim.engine import Simulator
-from repro.sim.medium import WirelessMedium
-from repro.sim.network import Network, NetworkConfig
-from repro.sim.statistics import StatsCollector
-from repro.radio.propagation import UnitDiskPropagation
+from repro.sim.rng import RandomStreams
 
-
-def run_protocol_on(mobility, protocol: str = "Greedy", duration: float = 45.0, seed: int = 3):
-    """Run ``protocol`` over an arbitrary mobility model and return the stats."""
-    sim = Simulator(seed=seed)
-    stats = StatsCollector()
-    medium = WirelessMedium(sim, propagation=UnitDiskPropagation(250.0), stats=stats)
-    network = Network(sim, medium=medium, stats=stats, mobility=mobility,
-                      config=NetworkConfig(mobility_step=0.5))
-    nodes = [network.add_vehicle(VehiclePositionProvider(v)) for v in mobility.vehicles]
-    network.attach_protocols(make_protocol_factory(protocol))
-    network.start()
-    # A few fixed flows between the first and last vehicles.
-    for flow_id, (src, dst) in enumerate([(0, -1), (2, -3), (4, -5)], start=1):
-        source, destination = nodes[src], nodes[dst]
-        stats.register_flow(flow_id, source.node_id, destination.node_id)
-        for seq in range(15):
-            sim.schedule_at(
-                5.0 + seq,
-                lambda s=source, d=destination, f=flow_id, q=seq: s.protocol.send_data(
-                    d.node_id, flow_id=f, seq=q + 1
-                ),
-            )
-    sim.run(until=duration)
-    return stats
+SEED = 19
 
 
 def main() -> None:
-    print("1. Recording a 60 s FCD trace from the IDM highway model...")
-    source_model = make_highway_scenario(TrafficDensity.NORMAL, seed=19, max_vehicles=50)
-    samples = record_fcd_trace(source_model, duration=60.0, dt=0.5)
+    live = highway_scenario(
+        TrafficDensity.NORMAL,
+        seed=SEED,
+        max_vehicles=50,
+        duration_s=30.0,
+        default_flow_count=4,
+    )
+
+    print("1. Recording the FCD trace of that scenario's mobility...")
+    # The scenario registry seeds mobility from the simulator's "mobility"
+    # stream; deriving the same stream here reproduces the exact vehicle
+    # population and trajectories the live run below will see.
+    source_model = make_highway_scenario(
+        live.density,
+        config=live.highway,
+        max_vehicles=live.max_vehicles,
+        rng=RandomStreams(SEED).stream("mobility"),
+    )
+    samples = record_fcd_trace(
+        source_model,
+        duration=live.duration_s + live.drain_s,
+        dt=live.mobility_step_s,
+    )
     trace_path = Path(tempfile.gettempdir()) / "repro_highway_trace.csv"
     write_fcd_trace(trace_path, samples)
     print(f"   wrote {len(samples)} samples for {len(source_model.vehicles)} vehicles "
           f"to {trace_path}")
 
-    print("2. Replaying the trace and routing over it...")
-    replay = TraceReplayMobility(read_fcd_trace(trace_path))
-    replay_stats = run_protocol_on(replay, "Greedy")
-
-    print("3. Routing over a freshly generated live model (same seed) for comparison...")
-    live_stats = run_protocol_on(
-        make_highway_scenario(TrafficDensity.NORMAL, seed=19, max_vehicles=50), "Greedy"
+    print("2. Replaying the trace as a first-class scenario...")
+    replay = trace_scenario(
+        str(trace_path),
+        name="replayed-highway",
+        seed=SEED,
+        duration_s=live.duration_s,
+        default_flow_count=live.default_flow_count,
     )
+    runner = ExperimentRunner()
+    replay_result = runner.run(replay, "Greedy")
+
+    print("3. Running the live IDM model (same seed) for comparison...")
+    live_result = runner.run(live, "Greedy")
 
     rows = [
         {
             "mobility source": "recorded trace (replayed)",
-            "delivery_ratio": replay_stats.delivery_ratio,
-            "mean_delay_s": replay_stats.mean_delay,
-            "mean_hops": replay_stats.mean_hops,
+            "delivery_ratio": replay_result.delivery_ratio,
+            "mean_delay_s": replay_result.summary["mean_delay_s"],
+            "mean_hops": replay_result.summary["mean_hops"],
         },
         {
             "mobility source": "live IDM model",
-            "delivery_ratio": live_stats.delivery_ratio,
-            "mean_delay_s": live_stats.mean_delay,
-            "mean_hops": live_stats.mean_hops,
+            "delivery_ratio": live_result.delivery_ratio,
+            "mean_delay_s": live_result.summary["mean_delay_s"],
+            "mean_hops": live_result.summary["mean_hops"],
         },
     ]
     print()
     print(format_table(rows, title="Greedy routing: replayed trace vs. live mobility"))
     print()
-    print("Any table in the same format (time, vehicle id, x, y, speed, heading) can be")
-    print("loaded with read_fcd_trace() and used the same way -- including real SUMO")
-    print("FCD exports converted to CSV.")
+    print("The rows agree because the replay reproduces the recorded motion on the")
+    print("same 0.5 s grid the live network steps on.  Any table in the same format")
+    print("(time, vehicle id, x, y, speed, heading) works identically -- including")
+    print("real SUMO FCD exports converted to CSV -- via trace_scenario(path) or")
+    print("--scenario trace:<path> on the CLI.")
 
 
 if __name__ == "__main__":

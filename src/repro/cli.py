@@ -1,7 +1,7 @@
 """Command-line interface: run scenarios and sweeps without writing Python.
 
 Installed as the ``repro-vanet`` console script (see ``pyproject.toml``), but
-also runnable as ``python -m repro.cli``.  Four subcommands:
+also runnable as ``python -m repro.cli``.  Subcommands:
 
 ``run``
     Run one protocol through one scenario and print the metric summary.
@@ -14,6 +14,12 @@ also runnable as ``python -m repro.cli``.  Four subcommands:
     (optionally persisted to CSV and JSON).
 ``protocols``
     List the implemented protocols and their taxonomy categories.
+``list-scenarios``
+    List the registered scenario kinds and named presets.
+
+Scenarios are selected either by ``--scenario`` (a preset name such as
+``city-grid-2km-sparse``, a registered kind, or ``trace:<path>`` for FCD
+trace replay) or by the classic ``--kind`` / ``--density`` pair.
 """
 
 from __future__ import annotations
@@ -25,7 +31,13 @@ from typing import List, Optional, Sequence
 from repro.core.taxonomy import global_registry
 from repro.harness.reporting import format_table, rows_to_csv, sweep_to_json
 from repro.harness.runner import ExperimentRunner
-from repro.harness.scenario import FlowSpec, Scenario, highway_scenario, manhattan_scenario
+from repro.harness.scenario import FlowSpec, Scenario
+from repro.harness.scenarios import (
+    available_scenario_kinds,
+    kind_rows,
+    preset_rows,
+    scenario_from_name,
+)
 from repro.harness.sweep import HEADLINE_METRICS, sweep_protocols, sweep_replications
 from repro.mobility.generator import TrafficDensity
 from repro.protocols.registry import available_protocols
@@ -46,47 +58,114 @@ SUMMARY_COLUMNS = [
 
 
 def _build_scenario(args: argparse.Namespace) -> Scenario:
-    density = TrafficDensity(args.density)
-    make = highway_scenario if args.kind == "highway" else manhattan_scenario
-    scenario = make(
-        density,
-        duration_s=args.duration,
-        max_vehicles=args.max_vehicles,
-        default_flow_count=args.flows,
-        seed=args.seed,
-        rsu_spacing_m=args.rsu_spacing,
-        bus_count=args.buses,
-        flow_template=FlowSpec(
-            start_time_s=args.warmup,
-            interval_s=args.packet_interval,
-            packet_count=args.packets_per_flow,
-        ),
-    )
+    """Resolve the CLI arguments into a scenario through the registry.
+
+    Both selection paths (``--scenario`` preset / trace / kind, or the
+    classic ``--kind``) go through :func:`scenario_from_name`.  Every flag
+    the user actually passed overrides the resolved scenario; flags left at
+    their ``None`` argparse default do not, so a preset keeps its advertised
+    shape (population cap, duration, RSU plan, density) unless explicitly
+    overridden.  Bare kinds -- via either flag -- get the documented CLI
+    fallbacks (duration 30 s, 100 vehicles, 5 flows, normal density), so
+    ``--scenario highway`` and ``--kind highway`` run the same experiment.
+    """
+    explicit = {}
+    if args.density is not None:
+        explicit["density"] = TrafficDensity(args.density)
+    if args.duration is not None:
+        explicit["duration_s"] = args.duration
+    if args.max_vehicles is not None:
+        explicit["max_vehicles"] = args.max_vehicles
+    if args.flows is not None:
+        explicit["default_flow_count"] = args.flows
+    if getattr(args, "seed", None) is not None:
+        explicit["seed"] = args.seed
+    if args.rsu_spacing is not None:
+        explicit["rsu_spacing_m"] = args.rsu_spacing
+    if args.buses is not None:
+        explicit["bus_count"] = args.buses
+
+    spec = getattr(args, "scenario", None)
+    if spec and spec not in available_scenario_kinds():
+        scenario = scenario_from_name(spec, **explicit)
+    else:
+        kind = spec if spec else args.kind
+        density = explicit.get("density", TrafficDensity.NORMAL)
+        overrides = {
+            "name": f"{kind}-{density.value}",
+            "density": density,
+            "duration_s": 30.0,
+            "max_vehicles": 100,
+            "default_flow_count": 5,
+            "seed": 1,
+        }
+        overrides.update(explicit)
+        scenario = scenario_from_name(kind, **overrides)
+
+    if any(
+        value is not None
+        for value in (args.warmup, args.packet_interval, args.packets_per_flow)
+    ):
+        template = scenario.flow_template
+        scenario = scenario.with_overrides(
+            flow_template=FlowSpec(
+                start_time_s=args.warmup if args.warmup is not None else template.start_time_s,
+                interval_s=args.packet_interval
+                if args.packet_interval is not None
+                else template.interval_s,
+                packet_count=args.packets_per_flow
+                if args.packets_per_flow is not None
+                else template.packet_count,
+                size_bytes=template.size_bytes,
+            )
+        )
     return scenario
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser, include_seed: bool = True) -> None:
     parser.add_argument(
-        "--kind", choices=["highway", "manhattan"], default="highway",
-        help="mobility scenario (default: highway)",
+        "--scenario", type=str, default=None, metavar="NAME",
+        help="scenario preset, registered kind, or trace:<path> "
+             "(see 'list-scenarios'; overrides --kind)",
     )
     parser.add_argument(
-        "--density", choices=[d.value for d in TrafficDensity], default="normal",
-        help="traffic density regime (default: normal)",
+        "--kind", choices=available_scenario_kinds(), default="highway",
+        help="mobility scenario kind (default: highway)",
     )
-    parser.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
-    parser.add_argument("--max-vehicles", type=int, default=100, help="vehicle population cap")
-    parser.add_argument("--flows", type=int, default=5, help="number of random unicast flows")
-    parser.add_argument("--packets-per-flow", type=int, default=20, help="packets per flow")
-    parser.add_argument("--packet-interval", type=float, default=1.0, help="seconds between packets")
-    parser.add_argument("--warmup", type=float, default=5.0, help="flow start time (seconds)")
+    parser.add_argument(
+        "--density", choices=[d.value for d in TrafficDensity], default=None,
+        help="traffic density regime (default: normal; presets keep their own)",
+    )
+    parser.add_argument("--duration", type=float, default=None, help="simulated seconds (default: 30)")
+    parser.add_argument(
+        "--max-vehicles", type=int, default=None,
+        help="vehicle population cap (default: 100; presets keep their own cap)",
+    )
+    parser.add_argument(
+        "--flows", type=int, default=None, help="number of random unicast flows (default: 5)"
+    )
+    parser.add_argument(
+        "--packets-per-flow", type=int, default=None, help="packets per flow (default: 20)"
+    )
+    parser.add_argument(
+        "--packet-interval", type=float, default=None,
+        help="seconds between packets (default: 1.0)",
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=None, help="flow start time in seconds (default: 5.0)"
+    )
     if include_seed:
-        parser.add_argument("--seed", type=int, default=1, help="master random seed")
+        parser.add_argument(
+            "--seed", type=int, default=None, help="master random seed (default: 1)"
+        )
     parser.add_argument(
         "--rsu-spacing", type=float, default=None,
         help="distance between road-side units in metres (default: no RSUs)",
     )
-    parser.add_argument("--buses", type=int, default=0, help="vehicles designated as buses")
+    parser.add_argument(
+        "--buses", type=int, default=None,
+        help="vehicles designated as buses (default: 0; presets keep their own)",
+    )
     parser.add_argument("--csv", type=str, default=None, help="write the result rows to this CSV file")
 
 
@@ -97,14 +176,32 @@ def _result_row(result) -> dict:
     return row
 
 
+def _resolve_scenario(args: argparse.Namespace) -> Optional[Scenario]:
+    """Build the scenario from the CLI arguments; print the failure and return None."""
+    try:
+        return _build_scenario(args)
+    except KeyError as exc:
+        # KeyError wraps its message in quotes; unwrap for readability.
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+    return None
+
+
 def _command_run(args: argparse.Namespace) -> int:
     if args.protocol not in available_protocols():
         print(f"unknown protocol {args.protocol!r}", file=sys.stderr)
         print(f"available: {', '.join(available_protocols())}", file=sys.stderr)
         return 2
-    scenario = _build_scenario(args)
+    scenario = _resolve_scenario(args)
+    if scenario is None:
+        return 2
     runner = ExperimentRunner()
-    result = runner.run(scenario, args.protocol)
+    try:
+        result = runner.run(scenario, args.protocol)
+    except (ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     rows = [_result_row(result)]
     print(format_table(rows, title=f"{args.protocol} on {scenario.name}"))
     if args.csv:
@@ -117,8 +214,14 @@ def _command_compare(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown protocol(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    scenario = _build_scenario(args)
-    results = sweep_protocols(scenario, args.protocols, runner=ExperimentRunner())
+    scenario = _resolve_scenario(args)
+    if scenario is None:
+        return 2
+    try:
+        results = sweep_protocols(scenario, args.protocols, runner=ExperimentRunner())
+    except (ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     rows = [_result_row(result) for result in results]
     print(format_table(rows, title=f"Comparison on {scenario.name}"))
     if args.csv:
@@ -131,7 +234,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown protocol(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    scenario = _build_scenario(args)
+    scenario = _resolve_scenario(args)
+    if scenario is None:
+        return 2
     try:
         result = sweep_replications(
             [scenario],
@@ -139,7 +244,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             seeds=args.seeds,
             workers=args.workers,
         )
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     rows = result.rows(HEADLINE_METRICS)
@@ -158,6 +263,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
 def _command_protocols(_: argparse.Namespace) -> int:
     rows = global_registry.as_table()
     print(format_table(rows, columns=["category", "protocol", "reference", "description"]))
+    return 0
+
+
+def _command_list_scenarios(_: argparse.Namespace) -> int:
+    print(format_table(kind_rows(), columns=["kind", "description"], title="Scenario kinds"))
+    print()
+    print(
+        format_table(
+            preset_rows(),
+            columns=["preset", "kind", "density", "description"],
+            title="Scenario presets",
+        )
+    )
+    print()
+    print("Any FCD trace file is also a scenario: --scenario trace:<path>")
     return 0
 
 
@@ -201,12 +321,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default=None,
         help="write the full sweep (per-run records + aggregates) to this JSON file",
     )
-    # ``seed=1`` only placates _build_scenario; build_matrix overrides every
-    # cell's seed with a value from --seeds.
-    sweep_parser.set_defaults(func=_command_sweep, seed=1)
+    # ``seed=None`` only placates _build_scenario; build_matrix overrides
+    # every cell's seed with a value from --seeds.
+    sweep_parser.set_defaults(func=_command_sweep, seed=None)
 
     protocols_parser = subparsers.add_parser("protocols", help="list implemented protocols")
     protocols_parser.set_defaults(func=_command_protocols)
+
+    scenarios_parser = subparsers.add_parser(
+        "list-scenarios", help="list registered scenario kinds and named presets"
+    )
+    scenarios_parser.set_defaults(func=_command_list_scenarios)
     return parser
 
 

@@ -212,6 +212,12 @@ def link_alive_probability(
         return 1.0 if abs(final) <= r else 0.0
     spread = relative_speed_std * elapsed_time
     drift = relative_speed_mean * elapsed_time
+    if spread <= 0.0:
+        # A denormally small elapsed_time can underflow the product to
+        # exactly zero even though both factors are positive; the correct
+        # limit is the deterministic (zero-variance) case.
+        final = d0 + drift
+        return 1.0 if abs(final) <= r else 0.0
     upper = (r - d0 - drift) / spread
     lower = (-r - d0 - drift) / spread
     return max(0.0, _normal_cdf(upper) - _normal_cdf(lower))

@@ -18,7 +18,25 @@ from repro.harness.reporting import (
     sweep_to_json,
 )
 from repro.harness.runner import ExperimentRunner, RunRecord, RunResult
-from repro.harness.scenario import FlowSpec, RadioConfig, Scenario, ScenarioKind
+from repro.harness.scenario import (
+    FlowSpec,
+    RadioConfig,
+    Scenario,
+    city_scenario,
+    highway_scenario,
+    manhattan_scenario,
+    trace_scenario,
+)
+from repro.harness.scenarios import (
+    BuiltMobility,
+    available_presets,
+    available_scenario_kinds,
+    build_mobility,
+    preset_rows,
+    register_preset,
+    register_scenario,
+    scenario_from_name,
+)
 from repro.harness.sweep import (
     MetricAggregate,
     ReplicatedResult,
@@ -49,7 +67,18 @@ __all__ = [
     "FlowSpec",
     "RadioConfig",
     "Scenario",
-    "ScenarioKind",
+    "city_scenario",
+    "highway_scenario",
+    "manhattan_scenario",
+    "trace_scenario",
+    "BuiltMobility",
+    "available_presets",
+    "available_scenario_kinds",
+    "build_mobility",
+    "preset_rows",
+    "register_preset",
+    "register_scenario",
+    "scenario_from_name",
     "MetricAggregate",
     "ReplicatedResult",
     "SweepCell",

@@ -12,9 +12,6 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.geometry import Vec2
-from repro.mobility.generator import make_highway_scenario, make_manhattan_scenario
-from repro.mobility.random_waypoint import RandomWaypointConfig, RandomWaypointMobility
 from repro.mobility.vehicle import VehiclePositionProvider
 from repro.protocols.base import ProtocolConfig
 from repro.protocols.location import LocationService
@@ -26,15 +23,14 @@ from repro.radio.propagation import (
 )
 from repro.radio.reception import SnrThresholdReception
 from repro.roadnet.graph import RoadGraph
-from repro.roadnet.grid import build_highway_graph, build_manhattan_graph
-from repro.roadnet.rsu_placement import place_along_highway, place_at_intersections
 from repro.sim.engine import Simulator
 from repro.sim.medium import WirelessMedium
 from repro.sim.network import Network, NetworkConfig
-from repro.sim.node import Node, NodeKind
+from repro.sim.node import Node
 from repro.sim.statistics import StatsCollector
 from repro.sim.trace import EventTrace
-from repro.harness.scenario import FlowSpec, Scenario, ScenarioKind
+from repro.harness.scenario import FlowSpec, Scenario
+from repro.harness.scenarios import build_mobility
 
 
 @dataclass
@@ -199,7 +195,12 @@ class ExperimentRunner:
             trace=trace,
             spatial_backend=scenario.spatial_backend,
         )
-        mobility, road_graph = self._build_mobility(scenario, sim)
+        # The scenario kind is resolved through the scenario registry
+        # (repro.harness.scenarios); every builder draws its stochastic
+        # choices from the simulator's "mobility" stream.
+        built_mobility = build_mobility(scenario, sim.rng.stream("mobility"))
+        mobility = built_mobility.mobility
+        road_graph = built_mobility.road_graph
         network = Network(
             sim,
             medium=medium,
@@ -217,7 +218,7 @@ class ExperimentRunner:
                 node = network.add_vehicle(provider)
             node.tx_power_dbm = scenario.radio.tx_power_dbm
             vehicle_nodes.append(node)
-        for position in self._rsu_positions(scenario, road_graph):
+        for position in built_mobility.rsu_positions:
             rsu = network.add_rsu(position)
             rsu.tx_power_dbm = scenario.radio.tx_power_dbm
         return BuiltScenario(scenario, sim, network, stats, vehicle_nodes, road_graph, trace)
@@ -235,54 +236,6 @@ class ExperimentRunner:
                 rng=sim.rng.stream("shadowing"),
             )
         raise ValueError(f"unknown propagation model {radio.propagation!r}")
-
-    def _build_mobility(
-        self, scenario: Scenario, sim: Simulator
-    ) -> Tuple[object, Optional[RoadGraph]]:
-        if scenario.kind is ScenarioKind.HIGHWAY:
-            mobility = make_highway_scenario(
-                scenario.density,
-                config=scenario.highway,
-                seed=scenario.seed,
-                max_vehicles=scenario.max_vehicles,
-            )
-            graph = build_highway_graph(scenario.highway.length_m)
-            return mobility, graph
-        if scenario.kind is ScenarioKind.MANHATTAN:
-            mobility = make_manhattan_scenario(
-                scenario.density,
-                config=scenario.manhattan,
-                seed=scenario.seed,
-                max_vehicles=scenario.max_vehicles,
-            )
-            graph = build_manhattan_graph(
-                scenario.manhattan.blocks_x,
-                scenario.manhattan.blocks_y,
-                scenario.manhattan.block_size_m,
-            )
-            return mobility, graph
-        if scenario.kind is ScenarioKind.RANDOM_WAYPOINT:
-            mobility = RandomWaypointMobility(
-                RandomWaypointConfig(), rng=sim.rng.stream("mobility")
-            )
-            count = scenario.max_vehicles if scenario.max_vehicles is not None else 50
-            for _ in range(count):
-                mobility.add_vehicle()
-            return mobility, None
-        raise ValueError(f"unknown scenario kind {scenario.kind!r}")
-
-    def _rsu_positions(
-        self, scenario: Scenario, road_graph: Optional[RoadGraph]
-    ) -> List[Vec2]:
-        if scenario.rsu_spacing_m is None:
-            return []
-        if scenario.kind is ScenarioKind.HIGHWAY:
-            return place_along_highway(scenario.highway.length_m, scenario.rsu_spacing_m)
-        if scenario.kind is ScenarioKind.MANHATTAN and road_graph is not None:
-            block = scenario.manhattan.block_size_m
-            every_k = max(1, int(round(scenario.rsu_spacing_m / block)))
-            return place_at_intersections(road_graph, every_k=every_k)
-        return []
 
     # -------------------------------------------------------------------- run
     def run(

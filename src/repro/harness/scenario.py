@@ -4,6 +4,12 @@ A :class:`Scenario` is a declarative description of one simulation setting:
 the mobility model and traffic density, the radio, the infrastructure, the
 application traffic and the run length.  The runner turns it into a live
 :class:`~repro.sim.network.Network`.
+
+The mobility substrate is named by the free-form ``kind`` string and resolved
+through the scenario registry (:mod:`repro.harness.scenarios`), the same way
+protocols are resolved through :mod:`repro.protocols.registry`.  The built-in
+kinds are ``"highway"``, ``"manhattan"``, ``"random_waypoint"``, ``"city"``
+and ``"trace"``; plug-ins register more without touching this module.
 """
 
 from __future__ import annotations
@@ -15,14 +21,8 @@ from typing import List, Optional
 from repro.mobility.generator import TrafficDensity
 from repro.mobility.highway import HighwayConfig
 from repro.mobility.manhattan import ManhattanConfig
-
-
-class ScenarioKind(Enum):
-    """Which mobility substrate the scenario uses."""
-
-    HIGHWAY = "highway"
-    MANHATTAN = "manhattan"
-    RANDOM_WAYPOINT = "random_waypoint"
+from repro.mobility.random_waypoint import RandomWaypointConfig
+from repro.roadnet.city import CityConfig
 
 
 @dataclass
@@ -72,7 +72,9 @@ class Scenario:
 
     Attributes:
         name: Label used in reports.
-        kind: Mobility substrate.
+        kind: Mobility substrate, resolved by name through the scenario
+            registry (``"highway"``, ``"manhattan"``, ``"random_waypoint"``,
+            ``"city"``, ``"trace"``, or any registered plug-in kind).
         density: Traffic density regime (sparse / normal / congested).
         duration_s: Simulated time after which flows stop being evaluated.
         drain_s: Extra simulated time to let in-flight packets arrive.
@@ -80,7 +82,9 @@ class Scenario:
             their streams from it).
         max_vehicles: Cap on the vehicle population (keeps congested runs
             tractable); ``None`` means no cap.
-        highway / manhattan: Mobility-model configurations.
+        highway / manhattan / city / waypoint: Mobility-model configurations
+            (only the one matching ``kind`` is consulted).
+        trace_path: FCD trace file driving a ``"trace"`` scenario.
         radio: Radio configuration.
         rsu_spacing_m: Distance between road-side units (``None`` = no RSUs).
         bus_count: Number of vehicles designated as buses (Bus-Ferry).
@@ -95,7 +99,7 @@ class Scenario:
     """
 
     name: str = "scenario"
-    kind: ScenarioKind = ScenarioKind.HIGHWAY
+    kind: str = "highway"
     density: TrafficDensity = TrafficDensity.NORMAL
     duration_s: float = 40.0
     drain_s: float = 3.0
@@ -103,6 +107,9 @@ class Scenario:
     max_vehicles: Optional[int] = 200
     highway: HighwayConfig = field(default_factory=HighwayConfig)
     manhattan: ManhattanConfig = field(default_factory=ManhattanConfig)
+    city: CityConfig = field(default_factory=CityConfig)
+    waypoint: RandomWaypointConfig = field(default_factory=RandomWaypointConfig)
+    trace_path: Optional[str] = None
     radio: RadioConfig = field(default_factory=RadioConfig)
     rsu_spacing_m: Optional[float] = None
     bus_count: int = 0
@@ -112,11 +119,28 @@ class Scenario:
     mobility_step_s: float = 0.5
     spatial_backend: str = "grid"
 
+    def __post_init__(self) -> None:
+        # Tolerate enum-like kinds (e.g. code written against the retired
+        # ``ScenarioKind`` enum): the registry is keyed by plain strings.
+        if isinstance(self.kind, Enum):
+            self.kind = str(self.kind.value)
+
     def with_overrides(self, **overrides) -> "Scenario":
         """A copy of this scenario with the given attributes replaced."""
         from dataclasses import replace
 
         return replace(self, **overrides)
+
+    @classmethod
+    def from_name(cls, spec: str, **overrides) -> "Scenario":
+        """Resolve a named preset (or ``trace:<path>``) into a scenario.
+
+        See :func:`repro.harness.scenarios.scenario_from_name` for the
+        resolution rules; ``overrides`` are applied on top of the preset.
+        """
+        from repro.harness.scenarios import scenario_from_name
+
+        return scenario_from_name(spec, **overrides)
 
 
 def highway_scenario(
@@ -127,7 +151,7 @@ def highway_scenario(
     """Convenience constructor for a highway scenario at a given density."""
     scenario = Scenario(
         name=name if name is not None else f"highway-{density.value}",
-        kind=ScenarioKind.HIGHWAY,
+        kind="highway",
         density=density,
     )
     return scenario.with_overrides(**overrides) if overrides else scenario
@@ -141,7 +165,41 @@ def manhattan_scenario(
     """Convenience constructor for an urban-grid scenario at a given density."""
     scenario = Scenario(
         name=name if name is not None else f"manhattan-{density.value}",
-        kind=ScenarioKind.MANHATTAN,
+        kind="manhattan",
         density=density,
+    )
+    return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def city_scenario(
+    density: TrafficDensity = TrafficDensity.NORMAL,
+    name: Optional[str] = None,
+    **overrides,
+) -> Scenario:
+    """Convenience constructor for a synthetic arterial+grid city scenario."""
+    scenario = Scenario(
+        name=name if name is not None else f"city-{density.value}",
+        kind="city",
+        density=density,
+    )
+    return scenario.with_overrides(**overrides) if overrides else scenario
+
+
+def trace_scenario(
+    trace_path: str,
+    name: Optional[str] = None,
+    **overrides,
+) -> Scenario:
+    """Convenience constructor for a trace-replay scenario.
+
+    ``trace_path`` points at a CSV floating-car-data trace as written by
+    :func:`repro.mobility.fcd_trace.write_fcd_trace` (or converted from a
+    SUMO FCD export); the replay drives vehicle positions directly, so
+    ``density`` and ``max_vehicles`` are ignored.
+    """
+    scenario = Scenario(
+        name=name if name is not None else f"trace:{trace_path}",
+        kind="trace",
+        trace_path=trace_path,
     )
     return scenario.with_overrides(**overrides) if overrides else scenario

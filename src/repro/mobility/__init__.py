@@ -29,9 +29,12 @@ from repro.mobility.fcd_trace import (
 )
 from repro.mobility.generator import (
     TrafficDensity,
+    make_city_scenario,
     make_highway_scenario,
     make_manhattan_scenario,
+    make_random_waypoint_scenario,
 )
+from repro.mobility.graph_walk import GraphWalkConfig, GraphWalkMobility
 from repro.mobility.highway import HighwayConfig, HighwayMobility
 from repro.mobility.idm import IdmParameters, idm_acceleration
 from repro.mobility.lane_change import MobilParameters, should_change_lane
@@ -46,8 +49,12 @@ __all__ = [
     "record_fcd_trace",
     "write_fcd_trace",
     "TrafficDensity",
+    "make_city_scenario",
     "make_highway_scenario",
     "make_manhattan_scenario",
+    "make_random_waypoint_scenario",
+    "GraphWalkConfig",
+    "GraphWalkMobility",
     "HighwayConfig",
     "HighwayMobility",
     "IdmParameters",

@@ -14,9 +14,16 @@ from enum import Enum
 from typing import Optional
 
 from repro.geometry import Vec2
+from repro.mobility.graph_walk import (
+    GraphWalkConfig,
+    GraphWalkMobility,
+    populate_graph_walk,
+)
 from repro.mobility.highway import HighwayConfig, HighwayMobility
 from repro.mobility.manhattan import ManhattanConfig, ManhattanMobility
 from repro.mobility.random_waypoint import RandomWaypointConfig, RandomWaypointMobility
+from repro.roadnet.city import CityConfig, build_city_graph
+from repro.roadnet.graph import RoadGraph
 
 
 class TrafficDensity(Enum):
@@ -59,15 +66,18 @@ def make_highway_scenario(
     config: Optional[HighwayConfig] = None,
     seed: int = 0,
     max_vehicles: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> HighwayMobility:
     """Create a highway populated at the requested density.
 
     Vehicles are spread uniformly (with jitter) over every lane; desired
     speeds follow the configured normal distribution scaled by the density's
-    speed factor (congestion slows everybody down).
+    speed factor (congestion slows everybody down).  ``rng`` (when given)
+    supersedes ``seed``; the harness passes the simulator's ``"mobility"``
+    stream so every scenario kind draws from the same seeding discipline.
     """
     config = config if config is not None else HighwayConfig()
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     highway = HighwayMobility(config=config, rng=rng)
     per_lane = int(round(density.vehicles_per_km_per_lane * config.length_m / 1000.0))
     per_lane = max(1, per_lane)
@@ -101,10 +111,11 @@ def make_manhattan_scenario(
     config: Optional[ManhattanConfig] = None,
     seed: int = 0,
     max_vehicles: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> ManhattanMobility:
     """Create a Manhattan grid populated at the requested density."""
     config = config if config is not None else ManhattanConfig()
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     mobility = ManhattanMobility(config=config, rng=rng)
     # Total street length: (blocks_x + 1) vertical streets of height H plus
     # (blocks_y + 1) horizontal streets of width W.
@@ -126,14 +137,43 @@ def make_manhattan_scenario(
     return mobility
 
 
+def make_city_scenario(
+    density: TrafficDensity = TrafficDensity.NORMAL,
+    config: Optional[CityConfig] = None,
+    seed: int = 0,
+    max_vehicles: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    graph: Optional[RoadGraph] = None,
+) -> GraphWalkMobility:
+    """Create a synthetic arterial+grid city populated at the requested density.
+
+    The vehicle count follows the density's per-street-km figure over the
+    city's total street length; congestion additionally scales every speed
+    limit down through :attr:`GraphWalkConfig.speed_factor`.  ``graph`` lets
+    the caller reuse an already-built road graph (the harness builds it once
+    and shares it with the routing protocols).
+    """
+    config = config if config is not None else CityConfig()
+    rng = rng if rng is not None else random.Random(seed)
+    graph = graph if graph is not None else build_city_graph(config)
+    mobility = GraphWalkMobility(
+        graph,
+        config=GraphWalkConfig(speed_factor=density.mean_speed_factor),
+        rng=rng,
+    )
+    count = max(2, int(round(density.vehicles_per_km_of_street * config.total_street_km())))
+    return populate_graph_walk(mobility, count, max_vehicles=max_vehicles)
+
+
 def make_random_waypoint_scenario(
     count: int = 50,
     config: Optional[RandomWaypointConfig] = None,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> RandomWaypointMobility:
     """Create a random-waypoint field with ``count`` nodes."""
     config = config if config is not None else RandomWaypointConfig()
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     mobility = RandomWaypointMobility(config=config, rng=rng)
     for _ in range(count):
         mobility.add_vehicle()

@@ -155,10 +155,38 @@ class RsuRelayProtocol(RoutingProtocol):
         if next_hop is not None:
             self.unicast(packet, next_hop)
             return
-        rsus = [entry for entry in neighbors if entry.is_rsu]
-        if rsus:
-            nearest = min(rsus, key=lambda e: self.node.position.distance_to(e.position))
+        # Nearest-RSU handoff through the network's RSU grid index: the
+        # geometric lookup cost tracks the populated cells around the
+        # vehicle instead of the total deployment size (city-scale
+        # deployments run thousands of units).  Candidates must still be in
+        # the beacon table -- a beacon actually got through, so the link
+        # works under the real propagation model (a pure nominal-range test
+        # would hand packets to RSUs sitting in a shadowing fade) -- which
+        # also filters stale beacon entries the vehicle has since outrun.
+        reach = self.network.medium.nominal_range(self.node.tx_power_dbm)
+        candidates = [
+            rsu
+            for rsu in self.network.rsus_within(self.node.position, reach)
+            if self.beacons.table.contains(rsu.node_id, self.now)
+        ]
+        if candidates:
+            nearest = min(
+                candidates, key=lambda n: self.node.position.distance_to(n.position)
+            )
             self.unicast(packet, nearest.node_id)
+            return
+        # Propagation variance cuts the other way too: a favourable fade can
+        # make an RSU beyond the nominal (mean) range perfectly reachable,
+        # and its beacons prove it.  Falling back to the raw beacon table
+        # keeps every RSU the original implementation considered eligible
+        # (including entries the vehicle has since outrun), so the handoff
+        # never drops a packet the pre-index protocol would have forwarded.
+        beacon_rsus = [entry for entry in neighbors if entry.is_rsu]
+        if beacon_rsus:
+            nearest_entry = min(
+                beacon_rsus, key=lambda e: self.node.position.distance_to(e.position)
+            )
+            self.unicast(packet, nearest_entry.node_id)
             return
         self.stats.no_route_drop()
 

@@ -6,8 +6,14 @@ infrastructure routing deploys RSUs along roads or at intersections (Fig. 5).
 This package supplies those structures.
 """
 
+from repro.roadnet.city import (
+    CityConfig,
+    arterial_intersections,
+    build_city_graph,
+    place_city_rsus,
+)
 from repro.roadnet.graph import RoadGraph
-from repro.roadnet.grid import build_manhattan_graph
+from repro.roadnet.grid import build_highway_graph, build_manhattan_graph
 from repro.roadnet.rsu_placement import (
     coverage_fraction,
     place_along_highway,
@@ -18,7 +24,12 @@ from repro.roadnet.segments import RoadSegment
 from repro.roadnet.zones import CorridorZone, GridPartition, RectZone, Zone
 
 __all__ = [
+    "CityConfig",
+    "arterial_intersections",
+    "build_city_graph",
+    "place_city_rsus",
     "RoadGraph",
+    "build_highway_graph",
     "build_manhattan_graph",
     "coverage_fraction",
     "place_along_highway",

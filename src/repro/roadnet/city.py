@@ -1,0 +1,169 @@
+"""Synthetic city road networks: an arterial + local-street grid.
+
+The Manhattan grid of :mod:`repro.roadnet.grid` treats every street alike;
+real cities do not.  A small set of wide, fast arterial roads carries most of
+the through-traffic while a dense mesh of local streets fills the blocks in
+between.  :func:`build_city_graph` generates that topology as a plain
+:class:`~repro.roadnet.graph.RoadGraph`, so everything that already consumes
+road graphs (CAR's connectivity paths, GVGrid, RSU placement, the
+graph-walk mobility model) works on city networks unchanged.
+
+The generator is deliberately parameter-light: a regular grid of local
+streets with every ``arterial_every``-th street upgraded to an arterial
+(more lanes, higher speed limit).  RSUs are deployed either at
+arterial/arterial crossings or over the whole area via
+:func:`repro.roadnet.rsu_placement.place_on_grid`, matching the paper's
+observation that infrastructure is "limited to urban area".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.geometry import Vec2
+from repro.roadnet.graph import RoadGraph
+from repro.roadnet.grid import intersection_name
+from repro.roadnet.rsu_placement import place_on_grid
+
+
+@dataclass
+class CityConfig:
+    """Geometry of the synthetic arterial + grid city.
+
+    Attributes:
+        blocks_x: Number of city blocks along x.
+        blocks_y: Number of city blocks along y.
+        block_size_m: Side length of one block (local-street spacing).
+        arterial_every: Every ``k``-th street (in both axes) is an arterial;
+            0 disables arterials entirely (pure local grid).
+        street_lanes / street_speed_mps: Local-street cross-section.
+        arterial_lanes / arterial_speed_mps: Arterial cross-section.
+        rsu_on_arterials_only: When True, RSU placement is restricted to
+            arterial/arterial crossings; otherwise RSUs cover the whole grid.
+    """
+
+    blocks_x: int = 10
+    blocks_y: int = 10
+    block_size_m: float = 200.0
+    arterial_every: int = 5
+    street_lanes: int = 2
+    street_speed_mps: float = 13.9
+    arterial_lanes: int = 4
+    arterial_speed_mps: float = 19.4
+    rsu_on_arterials_only: bool = True
+
+    @property
+    def width_m(self) -> float:
+        """Extent of the city along x."""
+        return self.blocks_x * self.block_size_m
+
+    @property
+    def height_m(self) -> float:
+        """Extent of the city along y."""
+        return self.blocks_y * self.block_size_m
+
+    def is_arterial_line(self, index: int) -> bool:
+        """Whether the ``index``-th street (row or column) is an arterial."""
+        return self.arterial_every > 0 and index % self.arterial_every == 0
+
+    def total_street_km(self) -> float:
+        """Total centre-line length of every street, in kilometres."""
+        vertical = (self.blocks_x + 1) * self.height_m
+        horizontal = (self.blocks_y + 1) * self.width_m
+        return (vertical + horizontal) / 1000.0
+
+
+def build_city_graph(config: Optional[CityConfig] = None) -> RoadGraph:
+    """Build the arterial + local-street road graph of a synthetic city.
+
+    The graph covers ``(blocks_x + 1) x (blocks_y + 1)`` intersections.  A
+    road segment inherits the arterial cross-section when the street it lies
+    on is an arterial line.
+    """
+    config = config if config is not None else CityConfig()
+    if config.blocks_x < 1 or config.blocks_y < 1:
+        raise ValueError("the city needs at least one block in each direction")
+    graph = RoadGraph()
+    block = config.block_size_m
+    for ix in range(config.blocks_x + 1):
+        for iy in range(config.blocks_y + 1):
+            graph.add_intersection(intersection_name(ix, iy), Vec2(ix * block, iy * block))
+
+    def road_params(line_index: int):
+        if config.is_arterial_line(line_index):
+            return config.arterial_lanes, config.arterial_speed_mps
+        return config.street_lanes, config.street_speed_mps
+
+    for ix in range(config.blocks_x + 1):
+        for iy in range(config.blocks_y + 1):
+            if ix < config.blocks_x:
+                # Horizontal segment: lies on street row ``iy``.
+                lanes, speed = road_params(iy)
+                graph.add_road(
+                    intersection_name(ix, iy),
+                    intersection_name(ix + 1, iy),
+                    lanes=lanes,
+                    speed_limit_mps=speed,
+                )
+            if iy < config.blocks_y:
+                # Vertical segment: lies on street column ``ix``.
+                lanes, speed = road_params(ix)
+                graph.add_road(
+                    intersection_name(ix, iy),
+                    intersection_name(ix, iy + 1),
+                    lanes=lanes,
+                    speed_limit_mps=speed,
+                )
+    return graph
+
+
+def arterial_intersections(config: CityConfig) -> List[str]:
+    """Names of the intersections where two arterials cross."""
+    if config.arterial_every <= 0:
+        return []
+    return [
+        intersection_name(ix, iy)
+        for ix in range(config.blocks_x + 1)
+        for iy in range(config.blocks_y + 1)
+        if config.is_arterial_line(ix) and config.is_arterial_line(iy)
+    ]
+
+
+def place_city_rsus(
+    config: CityConfig, graph: RoadGraph, spacing_m: float
+) -> List[Vec2]:
+    """RSU positions for a city at roughly ``spacing_m`` metre spacing.
+
+    With ``rsu_on_arterials_only`` the units sit on arterial/arterial
+    crossings, striding the crossing lattice independently in x and y so the
+    realised spacing honours ``spacing_m`` (deployment follows the major
+    roads); without it they cover the whole area on a regular grid.
+    """
+    if spacing_m <= 0 or spacing_m == float("inf"):
+        return []
+    if config.rsu_on_arterials_only and config.arterial_every > 0:
+        arterial_spacing = config.arterial_every * config.block_size_m
+        every_k = max(1, int(round(spacing_m / arterial_spacing)))
+        arterial_lines_x = [
+            ix for ix in range(config.blocks_x + 1) if config.is_arterial_line(ix)
+        ]
+        arterial_lines_y = [
+            iy for iy in range(config.blocks_y + 1) if config.is_arterial_line(iy)
+        ]
+        return [
+            graph.position_of(intersection_name(ix, iy))
+            for i, ix in enumerate(arterial_lines_x)
+            if i % every_k == 0
+            for j, iy in enumerate(arterial_lines_y)
+            if j % every_k == 0
+        ]
+    return place_on_grid(config.width_m, config.height_m, spacing_m)
+
+
+__all__ = [
+    "CityConfig",
+    "build_city_graph",
+    "arterial_intersections",
+    "place_city_rsus",
+]

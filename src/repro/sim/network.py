@@ -16,6 +16,7 @@ from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.medium import WirelessMedium
 from repro.sim.node import Node, NodeKind, PositionProvider, StaticPositionProvider
 from repro.sim.packet import Packet
+from repro.sim.spatial import UniformGridIndex
 from repro.sim.statistics import StatsCollector
 from repro.sim.trace import EventTrace
 
@@ -68,6 +69,15 @@ class Network:
         self.mobility = mobility
         self.config = config if config is not None else NetworkConfig()
         self._nodes: Dict[int, Node] = {}
+        #: Per-kind node tables, so vehicle/RSU/bus enumeration is O(count of
+        #: that kind) instead of a scan over every node (the RSU backbone
+        #: touches ``rsus`` on every broadcast and registration).
+        self._nodes_by_kind: Dict[NodeKind, Dict[int, Node]] = {
+            kind: {} for kind in NodeKind
+        }
+        #: Uniform-grid index over (static) RSU positions, created lazily on
+        #: the first RSU; backs :meth:`rsus_within` / :meth:`nearest_rsu`.
+        self._rsu_index: Optional[UniformGridIndex] = None
         self._next_node_id = 0
         self._mobility_task: Optional[PeriodicTask] = None
         self._started = False
@@ -109,6 +119,9 @@ class Network:
         node = Node(identifier, position_provider, kind)
         node.network = self
         self._nodes[identifier] = node
+        self._nodes_by_kind[kind][identifier] = node
+        if kind is NodeKind.RSU:
+            self._rsu_grid().insert(identifier, node.position)
         self.medium.register(node)
         return node
 
@@ -124,6 +137,9 @@ class Network:
         node = self._nodes.pop(node_id, None)
         self.medium.unregister(node_id)
         if node is not None:
+            self._nodes_by_kind[node.kind].pop(node_id, None)
+            if node.kind is NodeKind.RSU and self._rsu_index is not None:
+                self._rsu_index.remove(node_id)
             if node.protocol is not None:
                 node.protocol.stop()
             if node.mac is not None:
@@ -145,17 +161,17 @@ class Network:
     @property
     def vehicles(self) -> List[Node]:
         """All vehicle nodes."""
-        return [n for n in self._nodes.values() if n.kind is NodeKind.VEHICLE]
+        return list(self._nodes_by_kind[NodeKind.VEHICLE].values())
 
     @property
     def rsus(self) -> List[Node]:
         """All road-side units."""
-        return [n for n in self._nodes.values() if n.kind is NodeKind.RSU]
+        return list(self._nodes_by_kind[NodeKind.RSU].values())
 
     @property
     def buses(self) -> List[Node]:
         """All bus-ferry nodes."""
-        return [n for n in self._nodes.values() if n.kind is NodeKind.BUS]
+        return list(self._nodes_by_kind[NodeKind.BUS].values())
 
     # ------------------------------------------------------------- neighbours
     def nodes_within(
@@ -169,6 +185,62 @@ class Network:
         if radius is None:
             radius = self.medium.nominal_range(node.tx_power_dbm)
         return self.nodes_within(node.position, radius, exclude=node.node_id)
+
+    # ------------------------------------------------------------- RSU lookup
+    def _rsu_grid(self) -> UniformGridIndex:
+        """The RSU spatial index (cell size tied to the nominal radio range)."""
+        if self._rsu_index is None:
+            cell = max(50.0, self.medium.nominal_range(20.0))
+            self._rsu_index = UniformGridIndex(cell)
+        return self._rsu_index
+
+    def rsus_within(self, position: Vec2, radius: float) -> List[Node]:
+        """RSUs within ``radius`` metres of ``position``, via the grid index.
+
+        RSUs are static, so the index needs no refreshing: candidates from
+        the grid are exact-filtered against their (fixed) positions.
+        """
+        rsus = self._nodes_by_kind[NodeKind.RSU]
+        if not rsus:
+            return []
+        return [
+            rsus[rsu_id]
+            for rsu_id in self._rsu_grid().query_ids(position, radius)
+            if position.distance_to(rsus[rsu_id].position) <= radius
+        ]
+
+    def nearest_rsu(self, position: Vec2, within: Optional[float] = None) -> Optional[Node]:
+        """The RSU closest to ``position`` (``None`` when none qualifies).
+
+        ``within`` bounds the search radius (e.g. the caller's radio range).
+        Without it the grid is searched in expanding rings, so the cost is
+        proportional to the populated cells near ``position`` rather than to
+        the total number of deployed RSUs.
+        """
+        rsus = self._nodes_by_kind[NodeKind.RSU]
+        if not rsus:
+            return None
+
+        def distance_to(node: Node) -> float:
+            return position.distance_to(node.position)
+
+        if within is not None:
+            return min(self.rsus_within(position, within), key=distance_to, default=None)
+        grid = self._rsu_grid()
+        radius = grid.cell_size_m
+        while True:
+            candidate_ids = grid.query_ids(position, radius)
+            if candidate_ids:
+                best = min((rsus[rsu_id] for rsu_id in candidate_ids), key=distance_to)
+                best_distance = distance_to(best)
+                if best_distance <= radius:
+                    return best
+                # The nearest candidate sits beyond the queried disk, so an
+                # even closer RSU could hide in a cell the query missed; one
+                # exact re-query at its distance settles it.
+                final_ids = grid.query_ids(position, best_distance)
+                return min((rsus[rsu_id] for rsu_id in final_ids), key=distance_to)
+            radius *= 2.0
 
     # --------------------------------------------------------------- backbone
     def backbone_send(self, source_rsu: Node, target_rsu: Node, packet: Packet) -> None:

@@ -16,7 +16,6 @@ from repro.harness.scenario import (
     FlowSpec,
     RadioConfig,
     Scenario,
-    ScenarioKind,
     highway_scenario,
     manhattan_scenario,
 )
@@ -40,8 +39,8 @@ class TestScenario:
     def test_highway_and_manhattan_constructors(self):
         highway = highway_scenario(TrafficDensity.CONGESTED)
         urban = manhattan_scenario(TrafficDensity.SPARSE)
-        assert highway.kind is ScenarioKind.HIGHWAY
-        assert urban.kind is ScenarioKind.MANHATTAN
+        assert highway.kind == "highway"
+        assert urban.kind == "manhattan"
         assert "congested" in highway.name
         assert "sparse" in urban.name
 
@@ -124,7 +123,7 @@ class TestRunner:
     def _waypoint_scenario(self, seed: int) -> Scenario:
         return Scenario(
             name="rwp",
-            kind=ScenarioKind.RANDOM_WAYPOINT,
+            kind="random_waypoint",
             duration_s=10.0,
             max_vehicles=12,
             default_flow_count=2,

@@ -1,0 +1,83 @@
+"""Tests for the synthetic arterial+grid city generator."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.roadnet.city import (
+    CityConfig,
+    arterial_intersections,
+    build_city_graph,
+    place_city_rsus,
+)
+
+
+class TestCityGraph:
+    def test_dimensions_and_counts(self):
+        config = CityConfig(blocks_x=4, blocks_y=3, block_size_m=100.0)
+        graph = build_city_graph(config)
+        assert len(graph.intersections) == 5 * 4
+        # Horizontal segments: blocks_x per row x rows; vertical: blocks_y
+        # per column x columns.
+        assert len(graph.segments) == 4 * 4 + 3 * 5
+
+    def test_arterials_get_wider_faster_roads(self):
+        config = CityConfig(blocks_x=4, blocks_y=4, block_size_m=100.0, arterial_every=2)
+        graph = build_city_graph(config)
+        # Street row 0 is an arterial line; row 1 is a local street.
+        arterial = graph.segment_between("I0_0", "I1_0")
+        local = graph.segment_between("I0_1", "I1_1")
+        assert arterial.lanes == config.arterial_lanes
+        assert arterial.speed_limit_mps == config.arterial_speed_mps
+        assert local.lanes == config.street_lanes
+        assert local.speed_limit_mps == config.street_speed_mps
+
+    def test_no_arterials_when_disabled(self):
+        config = CityConfig(blocks_x=2, blocks_y=2, arterial_every=0)
+        graph = build_city_graph(config)
+        assert arterial_intersections(config) == []
+        for segment in graph.segments:
+            assert segment.lanes == config.street_lanes
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(ValueError):
+            build_city_graph(CityConfig(blocks_x=0))
+
+
+class TestCityRsuPlacement:
+    def test_no_spacing_no_rsus(self):
+        config = CityConfig()
+        graph = build_city_graph(config)
+        assert place_city_rsus(config, graph, 0.0) == []
+        assert place_city_rsus(config, graph, float("inf")) == []
+
+    def test_spacing_equal_to_arterial_spacing_covers_all_crossings(self):
+        config = CityConfig(blocks_x=10, blocks_y=10, block_size_m=200.0, arterial_every=5)
+        graph = build_city_graph(config)
+        positions = place_city_rsus(config, graph, 1000.0)
+        assert len(positions) == len(arterial_intersections(config)) == 9
+
+    def test_wider_spacing_strides_the_crossing_lattice_spatially(self):
+        """Regression: striding a flattened sorted name list selected
+        spatially adjacent crossings; the stride must apply independently
+        per axis so the realised spacing honours the request."""
+        config = CityConfig(blocks_x=20, blocks_y=20, block_size_m=100.0, arterial_every=2)
+        graph = build_city_graph(config)
+        positions = place_city_rsus(config, graph, 400.0)
+        assert positions
+        min_separation = min(
+            a.distance_to(b)
+            for i, a in enumerate(positions)
+            for b in positions[i + 1:]
+        )
+        assert min_separation >= 400.0
+
+    def test_area_coverage_when_arterials_disabled(self):
+        config = CityConfig(
+            blocks_x=5, blocks_y=5, block_size_m=200.0, rsu_on_arterials_only=False
+        )
+        graph = build_city_graph(config)
+        positions = place_city_rsus(config, graph, 500.0)
+        assert positions
+        for position in positions:
+            assert 0.0 <= position.x <= config.width_m
+            assert 0.0 <= position.y <= config.height_m

@@ -1,0 +1,87 @@
+"""Tests for the network's grid-indexed RSU lookups."""
+
+import random
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+def _network_with_rsus(positions):
+    network = Network(Simulator(seed=1))
+    for position in positions:
+        network.add_rsu(position)
+    return network
+
+
+class TestRsuLookups:
+    def test_no_rsus(self):
+        network = Network(Simulator(seed=1))
+        assert network.nearest_rsu(Vec2(0.0, 0.0)) is None
+        assert network.rsus_within(Vec2(0.0, 0.0), 1000.0) == []
+
+    def test_nearest_rsu_basic(self):
+        network = _network_with_rsus([Vec2(0.0, 0.0), Vec2(500.0, 0.0), Vec2(2000.0, 0.0)])
+        nearest = network.nearest_rsu(Vec2(520.0, 10.0))
+        assert nearest.position == Vec2(500.0, 0.0)
+
+    def test_nearest_rsu_respects_within_bound(self):
+        network = _network_with_rsus([Vec2(1000.0, 0.0)])
+        assert network.nearest_rsu(Vec2(0.0, 0.0), within=500.0) is None
+        found = network.nearest_rsu(Vec2(0.0, 0.0), within=1500.0)
+        assert found is not None
+
+    def test_nearest_rsu_far_query_expands_search(self):
+        network = _network_with_rsus([Vec2(10_000.0, 10_000.0)])
+        nearest = network.nearest_rsu(Vec2(-5_000.0, -5_000.0))
+        assert nearest.position == Vec2(10_000.0, 10_000.0)
+
+    def test_matches_brute_force(self):
+        rng = random.Random(7)
+        positions = [
+            Vec2(rng.uniform(0.0, 5000.0), rng.uniform(0.0, 5000.0)) for _ in range(120)
+        ]
+        network = _network_with_rsus(positions)
+        for _ in range(200):
+            query = Vec2(rng.uniform(-500.0, 5500.0), rng.uniform(-500.0, 5500.0))
+            got = network.nearest_rsu(query)
+            want = min(network.rsus, key=lambda n: query.distance_to(n.position))
+            assert query.distance_to(got.position) == pytest.approx(
+                query.distance_to(want.position)
+            )
+            radius = rng.uniform(100.0, 900.0)
+            got_ids = {n.node_id for n in network.rsus_within(query, radius)}
+            want_ids = {
+                n.node_id
+                for n in network.rsus
+                if query.distance_to(n.position) <= radius
+            }
+            assert got_ids == want_ids
+
+    def test_removal_updates_index(self):
+        network = _network_with_rsus([Vec2(0.0, 0.0), Vec2(300.0, 0.0)])
+        closest = network.nearest_rsu(Vec2(10.0, 0.0))
+        network.remove_node(closest.node_id)
+        remaining = network.nearest_rsu(Vec2(10.0, 0.0))
+        assert remaining is not None
+        assert remaining.node_id != closest.node_id
+        assert len(network.rsus) == 1
+
+    def test_per_kind_tables_track_membership(self):
+        from repro.mobility.vehicle import VehicleState, VehiclePositionProvider
+
+        network = Network(Simulator(seed=1))
+        vehicle = network.add_vehicle(
+            VehiclePositionProvider(VehicleState(vid=0, position=Vec2(1.0, 2.0)))
+        )
+        rsu = network.add_rsu(Vec2(5.0, 5.0))
+        bus = network.add_bus(
+            VehiclePositionProvider(VehicleState(vid=1, position=Vec2(9.0, 9.0)))
+        )
+        assert [n.node_id for n in network.vehicles] == [vehicle.node_id]
+        assert [n.node_id for n in network.rsus] == [rsu.node_id]
+        assert [n.node_id for n in network.buses] == [bus.node_id]
+        network.remove_node(vehicle.node_id)
+        assert network.vehicles == []

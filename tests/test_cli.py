@@ -14,7 +14,9 @@ class TestParser:
         args = build_parser().parse_args(["run", "AODV"])
         assert args.protocol == "AODV"
         assert args.kind == "highway"
-        assert args.density == "normal"
+        # Scenario flags default to None sentinels so presets keep their own
+        # values; the classic --kind path falls back to normal density.
+        assert args.density is None
 
     def test_compare_accepts_multiple_protocols(self):
         args = build_parser().parse_args(["compare", "AODV", "Greedy", "--density", "sparse"])
@@ -39,6 +41,75 @@ class TestParser:
         assert args.seeds == [4, 5]
         assert args.workers == 2
         assert args.json == "out.json"
+
+    def test_scenario_flag_parses(self):
+        args = build_parser().parse_args(["run", "Greedy", "--scenario", "city-grid-2km-sparse"])
+        assert args.scenario == "city-grid-2km-sparse"
+
+    def test_preset_shape_survives_default_arguments(self):
+        """Regression: argparse defaults used to clobber a preset's own
+        population cap / duration / RSU plan even when the user never passed
+        the flags."""
+        from repro.cli import _build_scenario
+
+        args = build_parser().parse_args(["run", "Greedy", "--scenario", "highway-10km-congested"])
+        scenario = _build_scenario(args)
+        assert scenario.max_vehicles == 600
+        assert scenario.rsu_spacing_m == 2000.0
+        # An explicit flag still wins.
+        args = build_parser().parse_args(
+            ["run", "Greedy", "--scenario", "highway-10km-congested", "--max-vehicles", "40"]
+        )
+        assert _build_scenario(args).max_vehicles == 40
+
+    def test_kind_path_uses_documented_fallbacks(self):
+        from repro.cli import _build_scenario
+        from repro.mobility.generator import TrafficDensity
+
+        args = build_parser().parse_args(["run", "Greedy"])
+        scenario = _build_scenario(args)
+        assert scenario.name == "highway-normal"
+        assert scenario.density is TrafficDensity.NORMAL
+        assert scenario.duration_s == 30.0
+        assert scenario.max_vehicles == 100
+        assert scenario.default_flow_count == 5
+        assert scenario.seed == 1
+        assert scenario.flow_template.packet_count == 20
+
+    def test_bare_kind_via_scenario_matches_kind_flag(self):
+        """--scenario highway and --kind highway must run the same experiment
+        (same CLI fallback defaults)."""
+        from repro.cli import _build_scenario
+
+        via_scenario = _build_scenario(
+            build_parser().parse_args(["run", "Greedy", "--scenario", "highway"])
+        )
+        via_kind = _build_scenario(
+            build_parser().parse_args(["run", "Greedy", "--kind", "highway"])
+        )
+        assert via_scenario == via_kind
+
+    def test_density_composes_with_scenario_flag(self):
+        """Regression: --density was silently dropped when --scenario was
+        given (its old non-None default made an explicit flag look unset)."""
+        from repro.cli import _build_scenario
+        from repro.mobility.generator import TrafficDensity
+
+        args = build_parser().parse_args(
+            ["run", "Greedy", "--scenario", "city", "--density", "congested"]
+        )
+        assert _build_scenario(args).density is TrafficDensity.CONGESTED
+        # Without the flag, the preset's own density survives.
+        args = build_parser().parse_args(["run", "Greedy", "--scenario", "city-grid-2km-sparse"])
+        assert _build_scenario(args).density is TrafficDensity.SPARSE
+
+    def test_kind_accepts_registered_kinds(self):
+        args = build_parser().parse_args(["run", "Greedy", "--kind", "city"])
+        assert args.kind == "city"
+
+    def test_list_scenarios_subcommand_parses(self):
+        args = build_parser().parse_args(["list-scenarios"])
+        assert args.command == "list-scenarios"
 
 
 class TestCommands:
@@ -129,3 +200,71 @@ class TestCommands:
     def test_sweep_duplicate_seeds_fail_cleanly(self, capsys):
         assert main(["sweep", "Greedy", "--seeds", "5", "5"]) == 2
         assert "unique" in capsys.readouterr().err
+
+    def test_list_scenarios_lists_kinds_and_presets(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        for kind in ("highway", "manhattan", "random_waypoint", "city", "trace"):
+            assert kind in output
+        assert "city-grid-2km-sparse" in output
+        assert "trace:<path>" in output
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["run", "Greedy", "--scenario", "nowhere"]) == 2
+        err = capsys.readouterr().err
+        assert "nowhere" in err
+        assert "city-grid-2km-sparse" in err
+
+    def test_run_city_preset(self, capsys):
+        code = main(
+            [
+                "run",
+                "Greedy",
+                "--scenario", "city-grid-2km-sparse",
+                "--duration", "6",
+                "--max-vehicles", "15",
+                "--flows", "2",
+                "--packets-per-flow", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "city-grid-2km-sparse" in output
+
+    def test_run_trace_scenario(self, capsys, tmp_path):
+        from repro.mobility.fcd_trace import record_fcd_trace, write_fcd_trace
+        from repro.mobility.generator import TrafficDensity, make_highway_scenario
+
+        source = make_highway_scenario(TrafficDensity.SPARSE, seed=5, max_vehicles=8)
+        trace_path = tmp_path / "cli_trace.csv"
+        write_fcd_trace(trace_path, record_fcd_trace(source, duration=10.0, dt=0.5))
+        code = main(
+            [
+                "run",
+                "Greedy",
+                "--scenario", f"trace:{trace_path}",
+                "--duration", "6",
+                "--flows", "2",
+                "--packets-per-flow", "3",
+            ]
+        )
+        assert code == 0
+        assert "delivery_ratio" in capsys.readouterr().out
+
+    def test_sweep_city_preset(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "Greedy",
+                "--scenario", "city-grid-2km-sparse",
+                "--seeds", "1", "2",
+                "--duration", "6",
+                "--max-vehicles", "15",
+                "--flows", "2",
+                "--packets-per-flow", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "city-grid-2km-sparse" in output
+        assert "delivery_ratio_mean" in output
