@@ -128,17 +128,23 @@ def replicate(
     seeds: Sequence[int] = FIGURE_SEEDS,
     derive: Optional[Callable[[RunRecord], Dict[str, float]]] = None,
     workers: Optional[int] = None,
+    workloads: Optional[Sequence[str]] = None,
 ) -> SweepResult:
-    """Run the scenario x protocol x seed matrix and aggregate 95% CIs.
+    """Run the scenario x protocol x workload x seed matrix, aggregate 95% CIs.
 
     ``derive`` maps each per-seed record to extra derived metrics (e.g.
     transmissions per delivered packet); deriving *before* aggregation means
     ratios are averaged per run instead of being computed from averaged
-    numerators and denominators.
+    numerators and denominators.  ``workloads`` (kind or preset names) adds
+    the traffic axis; omitted, scenarios keep their own workload (``cbr``).
     """
     workers = workers if workers is not None else sweep_workers()
     sweep = sweep_replications(
-        list(scenarios), list(protocols), seeds=list(seeds), workers=workers
+        list(scenarios),
+        list(protocols),
+        seeds=list(seeds),
+        workers=workers,
+        workloads=list(workloads) if workloads is not None else None,
     )
     if derive is not None:
         for record in sweep.records:

@@ -16,10 +16,15 @@ also runnable as ``python -m repro.cli``.  Subcommands:
     List the implemented protocols and their taxonomy categories.
 ``list-scenarios``
     List the registered scenario kinds and named presets.
+``list-workloads``
+    List the registered workload kinds and named presets.
 
 Scenarios are selected either by ``--scenario`` (a preset name such as
 ``city-grid-2km-sparse``, a registered kind, or ``trace:<path>`` for FCD
-trace replay) or by the classic ``--kind`` / ``--density`` pair.
+trace replay) or by the classic ``--kind`` / ``--density`` pair.  Traffic is
+selected by ``--workload`` (a workload kind such as ``safety-beacon`` or a
+preset such as ``safety-beacon-10hz``; the default is ``cbr``), and the
+``sweep`` subcommand accepts several workloads as an extra matrix axis.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from typing import List, Optional, Sequence
 from repro.core.taxonomy import global_registry
 from repro.harness.reporting import format_table, rows_to_csv, sweep_to_json
 from repro.harness.runner import ExperimentRunner
-from repro.harness.scenario import FlowSpec, Scenario
+from repro.harness.scenario import DEFAULT_FLOW_COUNT, FlowSpec, Scenario
 from repro.harness.scenarios import (
     available_scenario_kinds,
     kind_rows,
@@ -41,6 +46,12 @@ from repro.harness.scenarios import (
 from repro.harness.sweep import HEADLINE_METRICS, sweep_protocols, sweep_replications
 from repro.mobility.generator import TrafficDensity
 from repro.protocols.registry import available_protocols
+from repro.workloads import (
+    available_workload_presets,
+    available_workloads,
+    workload_preset_rows,
+    workload_rows,
+)
 
 #: Columns shown by the ``run`` and ``compare`` subcommands.
 SUMMARY_COLUMNS = [
@@ -84,6 +95,11 @@ def _build_scenario(args: argparse.Namespace) -> Scenario:
         explicit["rsu_spacing_m"] = args.rsu_spacing
     if args.buses is not None:
         explicit["bus_count"] = args.buses
+    # ``sweep`` takes a list of workloads as a matrix axis instead of a
+    # single scenario attribute; only the scalar form lands on the scenario.
+    workload = getattr(args, "workload", None)
+    if isinstance(workload, str):
+        explicit["workload"] = workload
 
     spec = getattr(args, "scenario", None)
     if spec and spec not in available_scenario_kinds():
@@ -96,7 +112,7 @@ def _build_scenario(args: argparse.Namespace) -> Scenario:
             "density": density,
             "duration_s": 30.0,
             "max_vehicles": 100,
-            "default_flow_count": 5,
+            "default_flow_count": DEFAULT_FLOW_COUNT,
             "seed": 1,
         }
         overrides.update(explicit)
@@ -122,7 +138,11 @@ def _build_scenario(args: argparse.Namespace) -> Scenario:
     return scenario
 
 
-def _add_scenario_arguments(parser: argparse.ArgumentParser, include_seed: bool = True) -> None:
+def _add_scenario_arguments(
+    parser: argparse.ArgumentParser,
+    include_seed: bool = True,
+    multi_workload: bool = False,
+) -> None:
     parser.add_argument(
         "--scenario", type=str, default=None, metavar="NAME",
         help="scenario preset, registered kind, or trace:<path> "
@@ -141,8 +161,20 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser, include_seed: bool 
         "--max-vehicles", type=int, default=None,
         help="vehicle population cap (default: 100; presets keep their own cap)",
     )
+    if multi_workload:
+        parser.add_argument(
+            "--workload", type=str, nargs="+", default=None, metavar="NAME",
+            help="workload kinds/presets swept as a matrix axis "
+                 "(default: the scenario's own, cbr; see 'list-workloads')",
+        )
+    else:
+        parser.add_argument(
+            "--workload", type=str, default=None, metavar="NAME",
+            help="traffic workload kind or preset (default: cbr; see 'list-workloads')",
+        )
     parser.add_argument(
-        "--flows", type=int, default=None, help="number of random unicast flows (default: 5)"
+        "--flows", type=int, default=None,
+        help=f"number of random unicast flows (default: {DEFAULT_FLOW_COUNT})",
     )
     parser.add_argument(
         "--packets-per-flow", type=int, default=None, help="packets per flow (default: 20)"
@@ -176,6 +208,26 @@ def _result_row(result) -> dict:
     return row
 
 
+def _check_workloads(names: Sequence[str]) -> bool:
+    """Validate workload names up front; print the failure and return False.
+
+    Scenario workloads are otherwise resolved inside the runner (possibly in
+    a worker process), where an unknown name would surface as a raw
+    traceback instead of a usage error.
+    """
+    known = set(available_workloads()) | set(available_workload_presets())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
+        print(
+            f"available kinds: {', '.join(available_workloads())}; "
+            f"presets: {', '.join(available_workload_presets())}",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def _resolve_scenario(args: argparse.Namespace) -> Optional[Scenario]:
     """Build the scenario from the CLI arguments; print the failure and return None."""
     try:
@@ -195,6 +247,8 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
     scenario = _resolve_scenario(args)
     if scenario is None:
+        return 2
+    if not _check_workloads([scenario.workload]):
         return 2
     runner = ExperimentRunner()
     try:
@@ -217,6 +271,8 @@ def _command_compare(args: argparse.Namespace) -> int:
     scenario = _resolve_scenario(args)
     if scenario is None:
         return 2
+    if not _check_workloads([scenario.workload]):
+        return 2
     try:
         results = sweep_protocols(scenario, args.protocols, runner=ExperimentRunner())
     except (ValueError, OSError) as exc:
@@ -237,12 +293,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
     scenario = _resolve_scenario(args)
     if scenario is None:
         return 2
+    workloads = args.workload if args.workload else None
+    if not _check_workloads(workloads if workloads else [scenario.workload]):
+        return 2
     try:
         result = sweep_replications(
             [scenario],
             args.protocols,
             seeds=args.seeds,
             workers=args.workers,
+            workloads=workloads,
         )
     except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
@@ -250,6 +310,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     rows = result.rows(HEADLINE_METRICS)
     title = (
         f"Sweep on {scenario.name}: {len(args.protocols)} protocol(s) x "
+        f"{len(workloads) if workloads else 1} workload(s) x "
         f"{len(args.seeds)} seed(s), workers={args.workers}"
     )
     print(format_table(rows, title=title))
@@ -281,6 +342,25 @@ def _command_list_scenarios(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_list_workloads(_: argparse.Namespace) -> int:
+    print(
+        format_table(
+            workload_rows(), columns=["workload", "description"], title="Workload kinds"
+        )
+    )
+    print()
+    print(
+        format_table(
+            workload_preset_rows(),
+            columns=["preset", "workload", "description"],
+            title="Workload presets",
+        )
+    )
+    print()
+    print("Select traffic with --workload; 'sweep' accepts several as a matrix axis.")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -308,7 +388,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("protocols", nargs="+", help="protocol names")
     # The sweep replaces the single --seed with an explicit --seeds list (one
     # run per seed); offering both would let --seed be silently ignored.
-    _add_scenario_arguments(sweep_parser, include_seed=False)
+    # Likewise --workload becomes a list: a matrix axis, not an attribute.
+    _add_scenario_arguments(sweep_parser, include_seed=False, multi_workload=True)
     sweep_parser.add_argument(
         "--seeds", type=int, nargs="+", default=[1, 2, 3],
         help="replication seeds, one run per (protocol, seed) (default: 1 2 3)",
@@ -332,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
         "list-scenarios", help="list registered scenario kinds and named presets"
     )
     scenarios_parser.set_defaults(func=_command_list_scenarios)
+
+    workloads_parser = subparsers.add_parser(
+        "list-workloads", help="list registered workload kinds and named presets"
+    )
+    workloads_parser.set_defaults(func=_command_list_workloads)
     return parser
 
 

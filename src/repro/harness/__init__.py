@@ -19,6 +19,7 @@ from repro.harness.reporting import (
 )
 from repro.harness.runner import ExperimentRunner, RunRecord, RunResult
 from repro.harness.scenario import (
+    DEFAULT_FLOW_COUNT,
     FlowSpec,
     RadioConfig,
     Scenario,
@@ -26,6 +27,14 @@ from repro.harness.scenario import (
     highway_scenario,
     manhattan_scenario,
     trace_scenario,
+)
+from repro.workloads import (
+    Workload,
+    available_workload_presets,
+    available_workloads,
+    register_workload,
+    register_workload_preset,
+    workload_from_name,
 )
 from repro.harness.scenarios import (
     BuiltMobility,
@@ -64,7 +73,14 @@ __all__ = [
     "ExperimentRunner",
     "RunRecord",
     "RunResult",
+    "DEFAULT_FLOW_COUNT",
     "FlowSpec",
+    "Workload",
+    "available_workload_presets",
+    "available_workloads",
+    "register_workload",
+    "register_workload_preset",
+    "workload_from_name",
     "RadioConfig",
     "Scenario",
     "city_scenario",

@@ -1,13 +1,14 @@
 """Turn a :class:`~repro.harness.scenario.Scenario` into a simulation run.
 
-The runner builds the mobility model, the network, the radio, the
-infrastructure and the application flows, attaches the requested protocol to
-every node, runs the simulation and returns the collected metrics.
+The runner builds the mobility model, the network, the radio and the
+infrastructure, attaches the requested protocol to every node, hands traffic
+generation to the scenario's workload (resolved by name through
+:mod:`repro.workloads`), runs the simulation and returns the collected
+metrics.
 """
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -29,8 +30,9 @@ from repro.sim.network import Network, NetworkConfig
 from repro.sim.node import Node
 from repro.sim.statistics import StatsCollector
 from repro.sim.trace import EventTrace
-from repro.harness.scenario import FlowSpec, Scenario
+from repro.harness.scenario import Scenario
 from repro.harness.scenarios import build_mobility
+from repro.workloads import workload_from_name
 
 
 @dataclass
@@ -52,6 +54,7 @@ class RunRecord:
     vehicle_count: int = 0
     rsu_count: int = 0
     wall_clock_s: float = 0.0
+    workload: str = "cbr"
 
     @property
     def metrics(self) -> Dict[str, float]:
@@ -61,10 +64,11 @@ class RunRecord:
         return merged
 
     def row(self) -> Dict[str, float]:
-        """Flat row (scenario + protocol + seed + headline metrics) for reporting."""
+        """Flat row (scenario + protocol + workload + seed + headline metrics)."""
         row: Dict[str, float] = {
             "scenario": self.scenario_name,
             "protocol": self.protocol,
+            "workload": self.workload,
             "seed": self.seed,
             "vehicles": self.vehicle_count,
             "rsus": self.rsu_count,
@@ -89,6 +93,7 @@ class RunRecord:
             vehicle_count=int(payload.get("vehicle_count", 0)),
             rsu_count=int(payload.get("rsu_count", 0)),
             wall_clock_s=float(payload.get("wall_clock_s", 0.0)),
+            workload=str(payload.get("workload", "cbr")),
         )
 
 
@@ -106,6 +111,7 @@ class RunResult:
     wall_clock_s: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
     seed: int = 0
+    workload: str = "cbr"
 
     @property
     def delivery_ratio(self) -> float:
@@ -118,10 +124,11 @@ class RunResult:
         return self.summary["overhead_ratio"]
 
     def row(self) -> Dict[str, float]:
-        """Flat row (scenario + protocol + headline metrics) for reporting."""
+        """Flat row (scenario + protocol + workload + headline metrics)."""
         row: Dict[str, float] = {
             "scenario": self.scenario_name,
             "protocol": self.protocol,
+            "workload": self.workload,
             "vehicles": self.vehicle_count,
             "rsus": self.rsu_count,
         }
@@ -141,6 +148,7 @@ class RunResult:
             vehicle_count=self.vehicle_count,
             rsu_count=self.rsu_count,
             wall_clock_s=self.wall_clock_s,
+            workload=self.workload,
         )
 
 
@@ -244,7 +252,13 @@ class ExperimentRunner:
         protocol_name: str,
         protocol_config: Optional[ProtocolConfig] = None,
     ) -> RunResult:
-        """Run ``protocol_name`` through ``scenario`` and return the metrics."""
+        """Run ``protocol_name`` through ``scenario`` and return the metrics.
+
+        Application traffic comes from the scenario's workload: the ``cbr``
+        default reproduces the classic ``FlowSpec`` unicast flows, while any
+        other registered kind or preset (``safety-beacon``, ``v2i``, ...)
+        schedules its own traffic shape through the same protocol API.
+        """
         started_wall = time.perf_counter()
         built = self.build(scenario)
         location_service = LocationService(built.network)
@@ -255,11 +269,16 @@ class ExperimentRunner:
             road_graph=built.road_graph,
         )
         built.network.attach_protocols(factory)
-        flows = self._schedule_flows(built)
+        workload = workload_from_name(scenario.workload, **dict(scenario.workload_params))
+        # Workloads draw from the simulator's "traffic" stream -- the stream
+        # the pre-registry runner used -- so default cbr runs reproduce
+        # pre-redesign schedules seed for seed.
+        flows = workload.build(scenario, built, built.sim.rng.stream("traffic"))
         built.network.start()
         built.sim.run(until=scenario.duration_s + scenario.drain_s)
         summary = built.stats.summary()
         extra = self._derive_extra(built, flows)
+        extra.update(workload.extra_metrics(built))
         result = RunResult(
             scenario_name=scenario.name,
             protocol=protocol_name,
@@ -279,90 +298,9 @@ class ExperimentRunner:
             wall_clock_s=time.perf_counter() - started_wall,
             extra=extra,
             seed=scenario.seed,
+            workload=scenario.workload,
         )
         return result
-
-    # -------------------------------------------------------------- app flows
-    def _schedule_flows(self, built: BuiltScenario) -> List[Dict[str, float]]:
-        scenario = built.scenario
-        rng = built.sim.rng.stream("traffic")
-        specs = list(scenario.flows)
-        if not specs:
-            template = scenario.flow_template
-            specs = [
-                FlowSpec(
-                    start_time_s=template.start_time_s,
-                    interval_s=template.interval_s,
-                    packet_count=template.packet_count,
-                    size_bytes=template.size_bytes,
-                )
-                for _ in range(scenario.default_flow_count)
-            ]
-        flows: List[Dict[str, float]] = []
-        vehicles = built.vehicle_nodes
-        if len(vehicles) < 2:
-            return flows
-        for flow_id, spec in enumerate(specs, start=1):
-            source_index = spec.source_index
-            destination_index = spec.destination_index
-            if source_index is None or destination_index is None:
-                source_index, destination_index = self._pick_pair(rng, len(vehicles))
-            source = vehicles[source_index % len(vehicles)]
-            destination = vehicles[destination_index % len(vehicles)]
-            built.stats.register_flow(flow_id, source.node_id, destination.node_id)
-            flows.append(
-                {
-                    "flow_id": flow_id,
-                    "source": source.node_id,
-                    "destination": destination.node_id,
-                }
-            )
-            for packet_index in range(spec.packet_count):
-                send_time = spec.start_time_s + packet_index * spec.interval_s
-                if send_time > scenario.duration_s:
-                    break
-                built.sim.schedule_at(
-                    send_time,
-                    self._send_flow_packet,
-                    built,
-                    source,
-                    destination,
-                    spec.size_bytes,
-                    flow_id,
-                    packet_index + 1,
-                )
-        return flows
-
-    @staticmethod
-    def _pick_pair(rng, count: int) -> Tuple[int, int]:
-        source = rng.randrange(count)
-        destination = rng.randrange(count)
-        while destination == source:
-            destination = rng.randrange(count)
-        return source, destination
-
-    def _send_flow_packet(
-        self,
-        built: BuiltScenario,
-        source: Node,
-        destination: Node,
-        size_bytes: int,
-        flow_id: int,
-        seq: int,
-    ) -> None:
-        built.ideal_hop_samples[(source.node_id, flow_id, seq)] = self._ideal_hops(
-            built, source, destination
-        )
-        if source.protocol is not None:
-            source.protocol.send_data(
-                destination.node_id, size_bytes=size_bytes, flow_id=flow_id, seq=seq
-            )
-
-    def _ideal_hops(self, built: BuiltScenario, source: Node, destination: Node) -> float:
-        """Lower bound on hop count: straight-line distance over the radio range."""
-        range_m = built.scenario.radio.communication_range_m
-        distance = source.position.distance_to(destination.position)
-        return max(1.0, math.ceil(distance / max(range_m, 1.0)))
 
     def _derive_extra(
         self, built: BuiltScenario, flows: List[Dict[str, float]]

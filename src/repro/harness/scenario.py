@@ -16,13 +16,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.mobility.generator import TrafficDensity
 from repro.mobility.highway import HighwayConfig
 from repro.mobility.manhattan import ManhattanConfig
 from repro.mobility.random_waypoint import RandomWaypointConfig
 from repro.roadnet.city import CityConfig
+
+#: Number of random unicast flows a scenario offers when neither explicit
+#: ``flows`` nor a flow count is given.  The CLI's bare-kind fallback and the
+#: :class:`Scenario` default both derive from this constant, so command-line
+#: and Python runs of the same scenario agree (they used to hardcode 5 and 6
+#: respectively).
+DEFAULT_FLOW_COUNT: int = 5
 
 
 @dataclass
@@ -48,6 +55,14 @@ class RadioConfig:
 @dataclass
 class FlowSpec:
     """One constant-bit-rate application flow.
+
+    .. deprecated::
+        ``FlowSpec`` lists (``Scenario.flows`` / ``Scenario.flow_template`` /
+        ``Scenario.default_flow_count``) are the legacy shim of the workload
+        registry: they only describe ``cbr`` traffic and are consumed by
+        :class:`repro.workloads.cbr.CbrWorkload` (the default workload).
+        New traffic shapes use ``Scenario.workload`` /
+        ``Scenario.workload_params`` instead -- see :mod:`repro.workloads`.
 
     Attributes:
         source_index / destination_index: Indices into the scenario's vehicle
@@ -88,10 +103,20 @@ class Scenario:
         radio: Radio configuration.
         rsu_spacing_m: Distance between road-side units (``None`` = no RSUs).
         bus_count: Number of vehicles designated as buses (Bus-Ferry).
-        flows: Application flows; when empty, ``default_flow_count`` random
-            flows are generated.
-        default_flow_count: Number of random flows when ``flows`` is empty.
-        flow_template: Template used for generated flows.
+        workload: Application-traffic model, resolved by name through the
+            workload registry (:mod:`repro.workloads`): a kind such as
+            ``"cbr"`` (default), ``"poisson"``, ``"safety-beacon"``,
+            ``"event-burst"``, ``"v2i"``, or a preset such as
+            ``"safety-beacon-10hz"``.
+        workload_params: Keyword parameters handed to the workload's
+            constructor (on top of a preset's own parameters).
+        flows: Deprecated ``cbr`` shim -- explicit CBR flows; when empty,
+            ``default_flow_count`` random flows are generated.  Only
+            consulted by the ``cbr`` workload.
+        default_flow_count: Deprecated ``cbr`` shim -- number of random
+            flows when ``flows`` is empty (:data:`DEFAULT_FLOW_COUNT`).
+        flow_template: Deprecated ``cbr`` shim -- template for generated
+            flows (other workloads borrow its timing defaults).
         mobility_step_s: Mobility update interval.
         spatial_backend: Neighbour-lookup backend of the wireless medium:
             ``"grid"`` (uniform-grid index, the default) or ``"linear"``
@@ -113,8 +138,10 @@ class Scenario:
     radio: RadioConfig = field(default_factory=RadioConfig)
     rsu_spacing_m: Optional[float] = None
     bus_count: int = 0
+    workload: str = "cbr"
+    workload_params: Dict[str, object] = field(default_factory=dict)
     flows: List[FlowSpec] = field(default_factory=list)
-    default_flow_count: int = 6
+    default_flow_count: int = DEFAULT_FLOW_COUNT
     flow_template: FlowSpec = field(default_factory=FlowSpec)
     mobility_step_s: float = 0.5
     spatial_backend: str = "grid"

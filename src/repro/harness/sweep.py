@@ -75,12 +75,15 @@ def build_matrix(
     protocol_names: Sequence[str],
     seeds: Sequence[int],
     protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
+    workloads: Optional[Sequence[str]] = None,
 ) -> List[SweepCell]:
-    """Expand scenarios x protocols x seeds into an explicit cell list.
+    """Expand scenarios x protocols x workloads x seeds into a cell list.
 
     The matrix order is deterministic (scenario-major, then protocol, then
-    seed), which fixes both the execution schedule and the ordering of every
-    downstream report.
+    workload, then seed), which fixes both the execution schedule and the
+    ordering of every downstream report.  ``workloads`` is an optional sweep
+    axis of workload kind/preset names; when omitted every cell keeps the
+    scenario's own ``workload`` (``"cbr"`` by default).
     """
     if not seeds:
         raise ValueError("at least one replication seed is required")
@@ -88,24 +91,43 @@ def build_matrix(
         # Repeating a seed reruns the identical deterministic cell: the
         # aggregate would report extra replications with zero added variance.
         raise ValueError("replication seeds must be unique")
+    if workloads is not None and len(set(workloads)) != len(workloads):
+        # Same reasoning as seeds: a repeated workload duplicates cells.
+        raise ValueError("sweep workloads must be unique")
     names = [scenario.name for scenario in scenarios]
     duplicates = sorted({name for name in names if names.count(name) > 1})
     if duplicates:
-        # Aggregation groups by (scenario name, protocol); scenarios sharing
-        # a name would be merged into one cell and corrupt the statistics.
+        # Aggregation groups by (scenario name, protocol, workload);
+        # scenarios sharing a name would be merged into one cell and corrupt
+        # the statistics.
         raise ValueError(f"scenario names must be unique, duplicated: {duplicates}")
     configs = protocol_configs or {}
     cells: List[SweepCell] = []
     for scenario in scenarios:
+        if workloads is None:
+            # No axis: every cell keeps the scenario's own workload and its
+            # parameters.
+            varied_scenarios = [scenario]
+        else:
+            # Axis cells name a kind/preset; the scenario's own
+            # workload_params belong to *its* workload and would be passed
+            # as foreign constructor keywords to the others (TypeError at
+            # run time), so the axis resets them -- parameterised axis
+            # entries should be presets.
+            varied_scenarios = [
+                scenario.with_overrides(workload=workload, workload_params={})
+                for workload in workloads
+            ]
         for protocol in protocol_names:
-            for seed in seeds:
-                cells.append(
-                    SweepCell(
-                        scenario=scenario.with_overrides(seed=seed),
-                        protocol=protocol,
-                        protocol_config=configs.get(protocol),
+            for varied in varied_scenarios:
+                for seed in seeds:
+                    cells.append(
+                        SweepCell(
+                            scenario=varied.with_overrides(seed=seed),
+                            protocol=protocol,
+                            protocol_config=configs.get(protocol),
+                        )
                     )
-                )
     return cells
 
 
@@ -191,12 +213,13 @@ HEADLINE_METRICS: Tuple[str, ...] = (
 
 @dataclass
 class ReplicatedResult:
-    """Per-(scenario, protocol) aggregate over replication seeds."""
+    """Per-(scenario, protocol, workload) aggregate over replication seeds."""
 
     scenario_name: str
     protocol: str
     seeds: Tuple[int, ...]
     metrics: Dict[str, MetricAggregate]
+    workload: str = "cbr"
 
     @property
     def replications(self) -> int:
@@ -219,6 +242,7 @@ class ReplicatedResult:
         row: Dict[str, object] = {
             "scenario": self.scenario_name,
             "protocol": self.protocol,
+            "workload": self.workload,
             "replications": self.replications,
         }
         for name in selected:
@@ -232,6 +256,7 @@ class ReplicatedResult:
         return {
             "scenario_name": self.scenario_name,
             "protocol": self.protocol,
+            "workload": self.workload,
             "seeds": list(self.seeds),
             "metrics": {name: agg.to_dict() for name, agg in sorted(self.metrics.items())},
         }
@@ -246,20 +271,24 @@ class ReplicatedResult:
                 str(name): MetricAggregate.from_dict(agg)
                 for name, agg in payload.get("metrics", {}).items()
             },
+            workload=str(payload.get("workload", "cbr")),
         )
 
 
 def aggregate_records(records: Iterable[RunRecord]) -> List[ReplicatedResult]:
     """Fold per-seed records into one :class:`ReplicatedResult` per cell.
 
-    Cells appear in first-seen order; within a cell, every metric present in
-    any seed's record is aggregated over the seeds that report it.
+    Cells are keyed by (scenario name, protocol, workload) and appear in
+    first-seen order; within a cell, every metric present in any seed's
+    record is aggregated over the seeds that report it.
     """
-    grouped: Dict[Tuple[str, str], List[RunRecord]] = {}
+    grouped: Dict[Tuple[str, str, str], List[RunRecord]] = {}
     for record in records:
-        grouped.setdefault((record.scenario_name, record.protocol), []).append(record)
+        grouped.setdefault(
+            (record.scenario_name, record.protocol, record.workload), []
+        ).append(record)
     replicated: List[ReplicatedResult] = []
-    for (scenario_name, protocol), bucket in grouped.items():
+    for (scenario_name, protocol, workload), bucket in grouped.items():
         metric_names = sorted({name for record in bucket for name in record.metrics})
         metrics = {
             name: MetricAggregate.of(
@@ -273,6 +302,7 @@ def aggregate_records(records: Iterable[RunRecord]) -> List[ReplicatedResult]:
                 protocol=protocol,
                 seeds=tuple(record.seed for record in bucket),
                 metrics=metrics,
+                workload=workload,
             )
         )
     return replicated
@@ -320,15 +350,17 @@ def sweep_replications(
     seeds: Sequence[int],
     workers: int = 1,
     protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
+    workloads: Optional[Sequence[str]] = None,
 ) -> SweepResult:
-    """Run the full scenario x protocol x seed matrix and aggregate it.
+    """Run the scenario x protocol x workload x seed matrix and aggregate it.
 
     ``workers=1`` runs serially in-process; ``workers > 1`` fans the cells
     out over a process pool.  Both schedules produce identical
     :class:`SweepResult` contents because every cell is seeded explicitly and
-    results are re-assembled in matrix order.
+    results are re-assembled in matrix order.  ``workloads`` adds the
+    workload axis; omitted, every cell keeps the scenario's own workload.
     """
-    cells = build_matrix(scenarios, protocol_names, seeds, protocol_configs)
+    cells = build_matrix(scenarios, protocol_names, seeds, protocol_configs, workloads)
     records = execute_cells(cells, run_cell, workers=workers)
     return SweepResult(records=records, replicated=aggregate_records(records))
 

@@ -128,7 +128,7 @@ class RoutingProtocol(ABC):
 
     def deliver_locally(self, packet: Packet) -> None:
         """Consume a data packet whose destination is this node."""
-        self.stats.data_delivered(packet, self.sim.now)
+        fresh = self.stats.data_delivered(packet, self.sim.now, receiver=self.node.node_id)
         self.network.trace.record(
             self.sim.now,
             "delivered",
@@ -138,6 +138,13 @@ class RoutingProtocol(ABC):
             seq=packet.seq,
             hops=packet.hop_count,
         )
+        # Hand the payload up to the application layer: request/response
+        # workloads (e.g. v2i) answer delivered packets from this hook.
+        # Only first deliveries propagate -- protocols that deliver before
+        # their duplicate check would otherwise trigger one application
+        # reaction per received copy.
+        if fresh and self.node.app_delivery_handler is not None:
+            self.node.app_delivery_handler(packet)
 
     def make_control(
         self,

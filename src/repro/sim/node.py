@@ -10,7 +10,7 @@ for trace-replayed vehicles.
 from __future__ import annotations
 
 from enum import Enum
-from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, runtime_checkable
 
 from repro.geometry import Vec2
 from repro.sim.packet import BROADCAST, Packet
@@ -71,6 +71,15 @@ class Node:
         self.mac = None  # assigned by WirelessMedium.register()
         #: Transmit power in dBm; can be overridden per node before start.
         self.tx_power_dbm: float = 20.0
+        #: Application-layer frame hook installed by workloads: called for
+        #: every received frame *before* the routing protocol; returning True
+        #: consumes the frame (single-hop broadcast traffic such as safety
+        #: beacons never reaches the routing layer).
+        self.app_frame_handler: Optional[Callable[[Packet, int], bool]] = None
+        #: Application-layer delivery hook installed by workloads: called
+        #: when a unicast data packet destined to this node is delivered
+        #: end-to-end (request/response workloads answer from here).
+        self.app_delivery_handler: Optional[Callable[[Packet], None]] = None
 
     # ------------------------------------------------------------- kinematics
     @property
@@ -134,6 +143,8 @@ class Node:
         """
         if rx_power_dbm is not None:
             packet.rx_power_dbm = rx_power_dbm
+        if self.app_frame_handler is not None and self.app_frame_handler(packet, sender_id):
+            return
         if self.protocol is not None:
             self.protocol.handle_packet(packet, sender_id)
 

@@ -23,7 +23,16 @@ from repro.sim.packet import Packet
 
 @dataclass
 class FlowStats:
-    """Per-application-flow accounting."""
+    """Per-application-flow accounting.
+
+    ``mode`` selects the delivery semantics: ``"unicast"`` flows (the
+    default) count one expected delivery per packet sent, while
+    ``"broadcast"`` flows (safety beacons, geo-scoped warnings) count per
+    receiver -- each sent packet *offers* as many deliveries as there are
+    intended receivers at the send instant, and each unique
+    (receiver, packet) reception counts one delivery, so the ratio reads as
+    reachability rather than end-to-end success.
+    """
 
     flow_id: int
     source: int
@@ -31,16 +40,39 @@ class FlowStats:
     sent: int = 0
     delivered: int = 0
     duplicates: int = 0
+    mode: str = "unicast"
+    #: Expected delivery opportunities: equals ``sent`` for unicast flows,
+    #: and the sum of per-packet intended-receiver counts for broadcast.
+    offered: int = 0
     delays: List[float] = field(default_factory=list)
     hop_counts: List[int] = field(default_factory=list)
     _delivered_seqs: Set[Tuple] = field(default_factory=set)
 
     @property
+    def effective_offered(self) -> int:
+        """The delivery-ratio denominator of this flow.
+
+        Broadcast flows use ``offered`` exactly: a send with zero in-range
+        receivers physically offers nothing, so it must not add phantom
+        opportunities to the reachability denominator.  Unicast flows fall
+        back to ``sent`` when ``offered`` is zero (hand-built records that
+        never went through :meth:`StatsCollector.data_originated`).
+        """
+        if self.mode == "broadcast":
+            return self.offered
+        return self.offered if self.offered else self.sent
+
+    @property
     def delivery_ratio(self) -> float:
-        """Fraction of originated packets that reached the destination."""
-        if self.sent == 0:
+        """Fraction of offered deliveries that happened.
+
+        For unicast flows ``offered == sent``, so this is the classic packet
+        delivery ratio; for broadcast flows it is per-receiver reachability.
+        """
+        denominator = self.effective_offered
+        if denominator == 0:
             return 0.0
-        return self.delivered / self.sent
+        return self.delivered / denominator
 
     @property
     def mean_delay(self) -> float:
@@ -92,28 +124,57 @@ class StatsCollector:
         self.store_carry_events = 0
 
     # ------------------------------------------------------------------ flows
-    def register_flow(self, flow_id: int, source: int, destination: int) -> FlowStats:
-        """Create (or return) the accounting record for a flow."""
+    def register_flow(
+        self, flow_id: int, source: int, destination: int, mode: str = "unicast"
+    ) -> FlowStats:
+        """Create (or return) the accounting record for a flow.
+
+        ``mode`` is ``"unicast"`` (default) or ``"broadcast"``; see
+        :class:`FlowStats` for the delivery semantics it selects.
+        """
         if flow_id not in self.flows:
-            self.flows[flow_id] = FlowStats(flow_id, source, destination)
+            self.flows[flow_id] = FlowStats(flow_id, source, destination, mode=mode)
         return self.flows[flow_id]
 
-    def data_originated(self, packet: Packet) -> None:
-        """Record that an application originated a data packet."""
+    def data_originated(
+        self, packet: Packet, expected_receivers: Optional[int] = None
+    ) -> None:
+        """Record that an application originated a data packet.
+
+        ``expected_receivers`` is the number of intended receivers of this
+        packet (broadcast workloads pass the in-scope population at the send
+        instant); unicast senders omit it and offer exactly one delivery.
+        """
         if packet.flow_id is None:
             return
         flow = self.register_flow(packet.flow_id, packet.source, packet.destination)
         flow.sent += 1
+        flow.offered += expected_receivers if expected_receivers is not None else 1
 
-    def data_delivered(self, packet: Packet, now: float) -> None:
-        """Record a data packet arriving at its final destination."""
+    def data_delivered(
+        self, packet: Packet, now: float, receiver: Optional[int] = None
+    ) -> bool:
+        """Record a data packet arriving at its final destination.
+
+        ``receiver`` identifies the delivering node; broadcast flows dedupe
+        per (receiver, packet) so every distinct receiver of the same packet
+        counts one delivery.
+
+        Returns:
+            True when this was a *new* delivery, False for duplicates (and
+            for packets outside flow accounting) -- so callers can gate
+            once-per-delivery reactions (e.g. the application-layer delivery
+            hook) without re-implementing the dedup.
+        """
         if packet.flow_id is None:
-            return
+            return False
         flow = self.register_flow(packet.flow_id, packet.source, packet.destination)
         key = packet.flow_key
+        if flow.mode == "broadcast" and receiver is not None:
+            key = (receiver,) + key
         if key in flow._delivered_seqs:
             flow.duplicates += 1
-            return
+            return False
         flow._delivered_seqs.add(key)
         flow.delivered += 1
         flow.delays.append(max(0.0, now - packet.created_at))
@@ -121,6 +182,7 @@ class StatsCollector:
         # own transmission is the first link, so the traversed link count is
         # one more than the forward count.
         flow.hop_counts.append(packet.hop_count + 1)
+        return True
 
     # ---------------------------------------------------------- transmissions
     def transmission(self, packet: Packet) -> None:
@@ -196,16 +258,26 @@ class StatsCollector:
 
     @property
     def total_delivered(self) -> int:
-        """Unique data packets delivered across all flows."""
+        """Unique data deliveries across all flows (per receiver for broadcast)."""
         return sum(flow.delivered for flow in self.flows.values())
 
     @property
+    def total_offered(self) -> int:
+        """Expected deliveries across all flows (equals ``total_sent`` for unicast)."""
+        return sum(flow.effective_offered for flow in self.flows.values())
+
+    @property
     def delivery_ratio(self) -> float:
-        """Aggregate packet delivery ratio across all flows."""
-        sent = self.total_sent
-        if sent == 0:
+        """Aggregate delivery ratio across all flows.
+
+        The denominator is the offered-delivery count, which for pure
+        unicast runs equals the packets sent (the classic PDR) and for
+        broadcast flows is the per-receiver reachability denominator.
+        """
+        offered = self.total_offered
+        if offered == 0:
             return 0.0
-        return self.total_delivered / sent
+        return self.total_delivered / offered
 
     @property
     def mean_delay(self) -> float:

@@ -1,0 +1,194 @@
+"""Event-triggered emergency warnings with geo-scoped flooding."""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+from repro.sim.node import NodeKind
+from repro.sim.packet import BROADCAST, make_data_packet
+from repro.workloads.base import Workload
+from repro.workloads.registry import register_workload, register_workload_preset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.runner import BuiltScenario
+    from repro.harness.scenario import Scenario
+    from repro.sim.node import Node
+    from repro.sim.packet import Packet
+
+#: ptype of application-layer emergency warnings.
+EVT_PTYPE = "EVT"
+
+
+@register_workload("event-burst")
+class EventBurstWorkload(Workload):
+    """Randomly triggered emergency warnings flooded within a geographic scope.
+
+    Models DENM-style hazard warnings: at random instants a random vehicle
+    becomes the epicenter of an event and repeatedly broadcasts a warning
+    that must reach every vehicle inside a geographic scope around the
+    epicenter.  Receivers inside the scope rebroadcast each warning once
+    (TTL-bounded application-layer flooding), so the offered load spikes in
+    space and time -- the broadcast-storm regime the paper's connectivity
+    category is criticised for.
+
+    Delivery accounting is per receiver against the scope membership frozen
+    at trigger time: ``delivery_ratio`` reads as the fraction of in-scope
+    vehicles reached per warning.
+
+    Constructor keywords: ``event_count`` (default 4), ``radius_m`` (scope
+    radius, default 600), ``repeats`` (warning retransmissions per event,
+    default 3), ``repeat_interval_s`` (default 0.5), ``size_bytes``
+    (default 300), ``flood_ttl`` (rebroadcast hop budget, default 4).
+    """
+
+    def __init__(
+        self,
+        event_count: int = 4,
+        radius_m: float = 600.0,
+        repeats: int = 3,
+        repeat_interval_s: float = 0.5,
+        size_bytes: int = 300,
+        flood_ttl: int = 4,
+    ) -> None:
+        if event_count < 0:
+            raise ValueError(f"event_count must be >= 0 (got {event_count})")
+        self.event_count = event_count
+        self.radius_m = radius_m
+        self.repeats = max(1, repeats)
+        self.repeat_interval_s = repeat_interval_s
+        self.size_bytes = size_bytes
+        self.flood_ttl = max(1, flood_ttl)
+
+    def build(
+        self, scenario: "Scenario", built: "BuiltScenario", rng: random.Random
+    ) -> List[Dict[str, float]]:
+        flows: List[Dict[str, float]] = []
+        vehicles = built.vehicle_nodes
+        if not vehicles or self.event_count == 0:
+            return flows
+        #: flow_id -> node ids inside the scope at trigger time.
+        scopes: Dict[int, Set[int]] = {}
+        #: (node_id, flow_key) pairs that already rebroadcast, for dedup.
+        rebroadcast_done: Set[Tuple] = set()
+        for node in built.network.nodes.values():
+            node.app_frame_handler = self._make_receiver(
+                built, node, scopes, rebroadcast_done
+            )
+        # Both the trigger instants and the epicenter vehicles are drawn up
+        # front in event order, so the draw sequence is independent of how
+        # the events later interleave with the simulation.
+        window_start = min(1.0, scenario.duration_s)
+        window_end = scenario.duration_s - self.repeats * self.repeat_interval_s
+        window_end = max(window_start, window_end)
+        triggers = sorted(
+            rng.uniform(window_start, window_end) for _ in range(self.event_count)
+        )
+        epicenters = [rng.randrange(len(vehicles)) for _ in range(self.event_count)]
+        for flow_id, (trigger_time, vehicle_index) in enumerate(
+            zip(triggers, epicenters), start=1
+        ):
+            source = vehicles[vehicle_index]
+            flows.append(
+                {"flow_id": flow_id, "source": source.node_id, "destination": BROADCAST}
+            )
+            built.sim.schedule_at(
+                trigger_time, self._trigger_event, built, source, flow_id, scopes
+            )
+        return flows
+
+    def _trigger_event(
+        self,
+        built: "BuiltScenario",
+        source: "Node",
+        flow_id: int,
+        scopes: Dict[int, Set[int]],
+    ) -> None:
+        """Freeze the scope set and start the warning burst."""
+        in_scope = {
+            node.node_id
+            for node in built.network.nodes_within(
+                source.position, self.radius_m, exclude=source.node_id
+            )
+            if node.kind is not NodeKind.RSU
+        }
+        scopes[flow_id] = in_scope
+        built.stats.register_flow(
+            flow_id, source.node_id, BROADCAST, mode="broadcast"
+        )
+        for repeat in range(self.repeats):
+            delay = repeat * self.repeat_interval_s
+            # Like every other workload, nothing originates past the
+            # evaluated window -- the drain period is for in-flight packets,
+            # not fresh traffic.
+            if built.sim.now + delay > built.scenario.duration_s:
+                break
+            built.sim.schedule(
+                delay,
+                self._send_warning,
+                built,
+                source,
+                flow_id,
+                repeat + 1,
+                len(in_scope),
+            )
+
+    def _send_warning(
+        self,
+        built: "BuiltScenario",
+        source: "Node",
+        flow_id: int,
+        seq: int,
+        expected: int,
+    ) -> None:
+        packet = make_data_packet(
+            "app",
+            source.node_id,
+            BROADCAST,
+            size_bytes=self.size_bytes,
+            created_at=built.sim.now,
+            flow_id=flow_id,
+            seq=seq,
+            ttl=self.flood_ttl,
+        )
+        packet.ptype = EVT_PTYPE
+        built.stats.data_originated(packet, expected_receivers=expected)
+        source.send(packet, BROADCAST)
+
+    @staticmethod
+    def _make_receiver(
+        built: "BuiltScenario",
+        node: "Node",
+        scopes: Dict[int, Set[int]],
+        rebroadcast_done: Set[Tuple],
+    ):
+        def receive(packet: "Packet", sender_id: int) -> bool:
+            if packet.ptype != EVT_PTYPE:
+                return False
+            in_scope = scopes.get(packet.flow_id)
+            if in_scope is None:
+                return True
+            if node.node_id in in_scope:
+                built.stats.data_delivered(packet, built.sim.now, receiver=node.node_id)
+                # Geo-scoped flooding: every in-scope receiver relays each
+                # warning exactly once while the hop budget lasts.
+                dedup_key = (node.node_id, packet.flow_key)
+                if packet.ttl > 1 and dedup_key not in rebroadcast_done:
+                    rebroadcast_done.add(dedup_key)
+                    node.send(packet.forwarded(), BROADCAST)
+            return True
+
+        return receive
+
+    def extra_metrics(self, built: "BuiltScenario") -> Dict[str, float]:
+        return {"events_triggered": float(len(built.stats.flows))}
+
+
+register_workload_preset(
+    "event-burst-storm",
+    lambda **overrides: EventBurstWorkload(
+        **{"event_count": 8, "repeats": 5, "repeat_interval_s": 0.2, **overrides}
+    ),
+    "8 emergency events, 5 rapid warning repeats each (stress burst)",
+    kind="event-burst",
+)

@@ -105,6 +105,40 @@ class TestMatrix:
         assert isinstance(clone, SweepCell)
         assert clone.scenario.name == cells[0].scenario.name
 
+    def test_workload_axis_expands_between_protocol_and_seed(self):
+        cells = build_matrix(
+            [_tiny_scenario()], ["P1", "P2"], [1, 2], workloads=["cbr", "safety-beacon"]
+        )
+        assert len(cells) == 8
+        assert [(c.protocol, c.scenario.workload, c.scenario.seed) for c in cells[:4]] == [
+            ("P1", "cbr", 1),
+            ("P1", "cbr", 2),
+            ("P1", "safety-beacon", 1),
+            ("P1", "safety-beacon", 2),
+        ]
+
+    def test_without_workload_axis_scenario_workload_is_kept(self):
+        base = _tiny_scenario().with_overrides(workload="poisson")
+        cells = build_matrix([base], ["P"], [1])
+        assert cells[0].scenario.workload == "poisson"
+
+    def test_duplicate_workloads_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            build_matrix([_tiny_scenario()], ["P"], [1], workloads=["cbr", "cbr"])
+
+    def test_workload_axis_resets_foreign_workload_params(self):
+        """The scenario's own workload_params belong to its workload; axis
+        cells naming other kinds must not inherit them (they would be passed
+        as unknown constructor keywords)."""
+        base = _tiny_scenario().with_overrides(
+            workload="safety-beacon", workload_params={"interval_s": 0.1}
+        )
+        cells = build_matrix([base], ["P"], [1], workloads=["cbr", "v2i"])
+        assert all(c.scenario.workload_params == {} for c in cells)
+        # Without the axis the parameters survive untouched.
+        (kept,) = build_matrix([base], ["P"], [1])
+        assert kept.scenario.workload_params == {"interval_s": 0.1}
+
 
 class TestExecuteCells:
     def test_serial_execution_preserves_order(self):
@@ -245,6 +279,36 @@ class TestSweepReplications:
         cell = build_matrix([_tiny_scenario()], ["Greedy"], [1])[0]
         assert run_cell(cell).summary == run_cell(cell).summary
 
+    def test_workload_axis_aggregates_per_workload_cell(self):
+        result = sweep_replications(
+            [_tiny_scenario()], ["Greedy"], [1, 2], workloads=["cbr", "safety-beacon"]
+        )
+        assert len(result.records) == 4
+        assert [(r.workload, r.seed) for r in result.records] == [
+            ("cbr", 1), ("cbr", 2), ("safety-beacon", 1), ("safety-beacon", 2),
+        ]
+        assert [(r.workload, r.seeds) for r in result.replicated] == [
+            ("cbr", (1, 2)), ("safety-beacon", (1, 2)),
+        ]
+        for row in result.rows(["delivery_ratio"]):
+            assert row["workload"] in ("cbr", "safety-beacon")
+
+    def test_parallel_and_serial_workload_sweeps_are_byte_identical(self):
+        """The PR 2 equivalence guarantee extends to non-cbr workloads: the
+        workload axis must not introduce schedule-dependent randomness."""
+        scenarios = [_tiny_scenario().with_overrides(rsu_spacing_m=800.0)]
+        serial = sweep_replications(
+            scenarios, ["Greedy"], [1, 2], workers=1, workloads=["safety-beacon", "v2i"]
+        )
+        parallel = sweep_replications(
+            scenarios, ["Greedy"], [1, 2], workers=2, workloads=["safety-beacon", "v2i"]
+        )
+        strip = lambda record: dict(record.to_dict(), wall_clock_s=0.0)  # noqa: E731
+        assert list(map(strip, serial.records)) == list(map(strip, parallel.records))
+        assert [r.to_dict() for r in serial.replicated] == [
+            r.to_dict() for r in parallel.replicated
+        ]
+
 
 class TestPersistence:
     def _sweep_result(self):
@@ -267,10 +331,10 @@ class TestPersistence:
         sweep_to_csv(path, self._sweep_result(), metric_names=["delivery_ratio"])
         header, row = path.read_text().strip().splitlines()
         assert header == (
-            "scenario,protocol,replications,"
+            "scenario,protocol,workload,replications,"
             "delivery_ratio_mean,delivery_ratio_ci95,delivery_ratio_n"
         )
-        assert row.startswith("s,P,2,0.5")
+        assert row.startswith("s,P,cbr,2,0.5")
 
     def test_rows_json_round_trip(self, tmp_path):
         rows = [{"vehicles": 100, "speedup": 5.9}, {"vehicles": 400, "speedup": 6.2}]

@@ -22,8 +22,10 @@ class TestFlowAccounting:
     def test_duplicate_deliveries_not_double_counted(self, stats):
         packet = make_data_packet("p", 1, 2, flow_id=1, seq=1)
         stats.data_originated(packet)
-        stats.data_delivered(packet, 1.0)
-        stats.data_delivered(packet.copy(), 2.0)
+        # The return value distinguishes first deliveries from duplicates so
+        # callers (e.g. the app-layer delivery hook) can react exactly once.
+        assert stats.data_delivered(packet, 1.0) is True
+        assert stats.data_delivered(packet.copy(), 2.0) is False
         flow = stats.flows[1]
         assert flow.delivered == 1
         assert flow.duplicates == 1
@@ -47,6 +49,84 @@ class TestFlowAccounting:
         assert stats.delivery_ratio == 0.0
         assert stats.mean_delay == 0.0
         assert stats.mean_hops == 0.0
+
+
+class TestBroadcastFlowAccounting:
+    def test_broadcast_flow_counts_per_receiver(self, stats):
+        from repro.sim.packet import BROADCAST
+
+        stats.register_flow(1, 10, BROADCAST, mode="broadcast")
+        packet = make_data_packet("app", 10, BROADCAST, flow_id=1, seq=1)
+        stats.data_originated(packet, expected_receivers=3)
+        stats.data_delivered(packet, 1.0, receiver=20)
+        stats.data_delivered(packet.copy(), 1.1, receiver=30)
+        flow = stats.flows[1]
+        assert flow.sent == 1
+        assert flow.offered == 3
+        assert flow.delivered == 2
+        assert flow.delivery_ratio == pytest.approx(2 / 3)
+        assert stats.delivery_ratio == pytest.approx(2 / 3)
+
+    def test_same_receiver_same_packet_is_a_duplicate(self, stats):
+        from repro.sim.packet import BROADCAST
+
+        stats.register_flow(1, 10, BROADCAST, mode="broadcast")
+        packet = make_data_packet("app", 10, BROADCAST, flow_id=1, seq=1)
+        stats.data_originated(packet, expected_receivers=2)
+        stats.data_delivered(packet, 1.0, receiver=20)
+        stats.data_delivered(packet.copy(), 1.5, receiver=20)
+        flow = stats.flows[1]
+        assert flow.delivered == 1
+        assert flow.duplicates == 1
+
+    def test_unicast_flows_keep_classic_pdr_semantics(self, stats):
+        """Unicast offered == sent, so the aggregate ratio is unchanged by
+        the per-receiver extension."""
+        stats.register_flow(1, 1, 2)
+        for seq in range(4):
+            packet = make_data_packet("p", 1, 2, flow_id=1, seq=seq)
+            stats.data_originated(packet)
+            if seq < 3:
+                stats.data_delivered(packet, 1.0, receiver=2)
+        flow = stats.flows[1]
+        assert flow.offered == flow.sent == 4
+        assert stats.delivery_ratio == pytest.approx(0.75)
+
+    def test_zero_receiver_broadcast_sends_offer_nothing(self, stats):
+        """A beacon sent with nobody in range physically offers no delivery;
+        falling back to the packet count would add phantom opportunities and
+        deflate reachability in sparse regimes."""
+        from repro.sim.packet import BROADCAST
+
+        stats.register_flow(1, 10, BROADCAST, mode="broadcast")
+        stats.register_flow(2, 11, BROADCAST, mode="broadcast")
+        for seq in range(5):  # isolated vehicle: all sends unheard
+            stats.data_originated(
+                make_data_packet("app", 10, BROADCAST, flow_id=1, seq=seq),
+                expected_receivers=0,
+            )
+        for seq in range(5):  # fully-reached vehicle: 2 receivers each
+            packet = make_data_packet("app", 11, BROADCAST, flow_id=2, seq=seq)
+            stats.data_originated(packet, expected_receivers=2)
+            stats.data_delivered(packet, 1.0, receiver=20)
+            stats.data_delivered(packet.copy(), 1.0, receiver=21)
+        assert stats.flows[1].delivery_ratio == 0.0
+        assert stats.total_offered == 10
+        assert stats.delivery_ratio == pytest.approx(1.0)
+
+    def test_mixed_unicast_and_broadcast_aggregate(self, stats):
+        from repro.sim.packet import BROADCAST
+
+        unicast = make_data_packet("p", 1, 2, flow_id=1, seq=1)
+        stats.data_originated(unicast)
+        stats.data_delivered(unicast, 1.0, receiver=2)
+        stats.register_flow(2, 3, BROADCAST, mode="broadcast")
+        beacon = make_data_packet("app", 3, BROADCAST, flow_id=2, seq=1)
+        stats.data_originated(beacon, expected_receivers=4)
+        stats.data_delivered(beacon, 1.0, receiver=5)
+        assert stats.total_offered == 5
+        assert stats.total_delivered == 2
+        assert stats.delivery_ratio == pytest.approx(0.4)
 
 
 class TestOverheadAccounting:

@@ -111,6 +111,34 @@ class TestParser:
         args = build_parser().parse_args(["list-scenarios"])
         assert args.command == "list-scenarios"
 
+    def test_list_workloads_subcommand_parses(self):
+        args = build_parser().parse_args(["list-workloads"])
+        assert args.command == "list-workloads"
+
+    def test_run_workload_flag_lands_on_the_scenario(self):
+        from repro.cli import _build_scenario
+
+        args = build_parser().parse_args(["run", "Greedy", "--workload", "safety-beacon"])
+        assert _build_scenario(args).workload == "safety-beacon"
+        # Without the flag the scenario keeps the cbr default.
+        args = build_parser().parse_args(["run", "Greedy"])
+        assert _build_scenario(args).workload == "cbr"
+
+    def test_sweep_workload_flag_accepts_a_matrix_axis(self):
+        args = build_parser().parse_args(
+            ["sweep", "Greedy", "--workload", "cbr", "safety-beacon"]
+        )
+        assert args.workload == ["cbr", "safety-beacon"]
+
+    def test_cli_and_scenario_flow_count_defaults_agree(self):
+        """Regression: the CLI hardcoded 5 while Scenario defaulted to 6."""
+        from repro.cli import _build_scenario
+        from repro.harness.scenario import DEFAULT_FLOW_COUNT, Scenario
+
+        args = build_parser().parse_args(["run", "Greedy"])
+        assert _build_scenario(args).default_flow_count == DEFAULT_FLOW_COUNT
+        assert Scenario().default_flow_count == DEFAULT_FLOW_COUNT
+
 
 class TestCommands:
     def test_protocols_lists_all_categories(self, capsys):
@@ -214,6 +242,64 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "nowhere" in err
         assert "city-grid-2km-sparse" in err
+
+    def test_list_workloads_lists_kinds_and_presets(self, capsys):
+        assert main(["list-workloads"]) == 0
+        output = capsys.readouterr().out
+        for kind in ("cbr", "poisson", "safety-beacon", "event-burst", "v2i"):
+            assert kind in output
+        assert "safety-beacon-10hz" in output
+
+    def test_run_with_safety_beacon_workload(self, capsys):
+        code = main(
+            [
+                "run",
+                "Greedy",
+                "--workload", "safety-beacon",
+                "--duration", "6",
+                "--max-vehicles", "15",
+                "--density", "sparse",
+            ]
+        )
+        assert code == 0
+        assert "delivery_ratio" in capsys.readouterr().out
+
+    def test_run_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["run", "Greedy", "--workload", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+        assert "safety-beacon" in err
+
+    def test_sweep_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["sweep", "Greedy", "--workload", "cbr", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_sweep_workload_axis_produces_per_workload_cells(self, capsys, tmp_path):
+        json_path = tmp_path / "workload-sweep.json"
+        code = main(
+            [
+                "sweep",
+                "Greedy",
+                "--workload", "cbr", "safety-beacon",
+                "--seeds", "1", "2",
+                "--duration", "6",
+                "--max-vehicles", "15",
+                "--flows", "2",
+                "--packets-per-flow", "3",
+                "--density", "sparse",
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "workload" in output
+        assert "safety-beacon" in output
+        from repro.harness.reporting import sweep_from_json
+
+        loaded = sweep_from_json(json_path)
+        assert len(loaded.records) == 4  # 1 protocol x 2 workloads x 2 seeds
+        assert {r.workload for r in loaded.records} == {"cbr", "safety-beacon"}
+        assert {r.workload for r in loaded.replicated} == {"cbr", "safety-beacon"}
 
     def test_run_city_preset(self, capsys):
         code = main(
