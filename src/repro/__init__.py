@@ -8,7 +8,9 @@ geographic location and probability models.
 This package provides:
 
 * ``repro.sim`` -- a discrete-event packet-level network simulator.
-* ``repro.radio`` -- wireless propagation, reception and MAC models.
+* ``repro.radio`` -- wireless propagation, reception, interference and MAC
+  models, composed into registry-resolved :class:`RadioStack` profiles.
+* ``repro.workloads`` -- registry-resolved application-traffic models.
 * ``repro.mobility`` -- vehicular mobility models (IDM highway, Manhattan
   grid, random waypoint, trace replay).
 * ``repro.roadnet`` -- road networks, zones and road-side-unit placement.

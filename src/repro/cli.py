@@ -18,13 +18,18 @@ also runnable as ``python -m repro.cli``.  Subcommands:
     List the registered scenario kinds and named presets.
 ``list-workloads``
     List the registered workload kinds and named presets.
+``list-radios``
+    List the registered radio kinds and named radio-stack presets.
 
 Scenarios are selected either by ``--scenario`` (a preset name such as
 ``city-grid-2km-sparse``, a registered kind, or ``trace:<path>`` for FCD
 trace replay) or by the classic ``--kind`` / ``--density`` pair.  Traffic is
 selected by ``--workload`` (a workload kind such as ``safety-beacon`` or a
-preset such as ``safety-beacon-10hz``; the default is ``cbr``), and the
-``sweep`` subcommand accepts several workloads as an extra matrix axis.
+preset such as ``safety-beacon-10hz``; the default is ``cbr``) and the
+channel by ``--radio`` (a radio kind such as ``nakagami`` or a preset such
+as ``dsrc-urban-nlos``; the default is ``ideal-disk-250m``).  The ``sweep``
+subcommand accepts several workloads and several radios as extra matrix
+axes.
 """
 
 from __future__ import annotations
@@ -46,6 +51,12 @@ from repro.harness.scenarios import (
 from repro.harness.sweep import HEADLINE_METRICS, sweep_protocols, sweep_replications
 from repro.mobility.generator import TrafficDensity
 from repro.protocols.registry import available_protocols
+from repro.radio.registry import (
+    available_radio_presets,
+    available_radios,
+    radio_preset_rows,
+    radio_rows,
+)
 from repro.workloads import (
     available_workload_presets,
     available_workloads,
@@ -95,11 +106,20 @@ def _build_scenario(args: argparse.Namespace) -> Scenario:
         explicit["rsu_spacing_m"] = args.rsu_spacing
     if args.buses is not None:
         explicit["bus_count"] = args.buses
-    # ``sweep`` takes a list of workloads as a matrix axis instead of a
-    # single scenario attribute; only the scalar form lands on the scenario.
+    # ``sweep`` takes a list of workloads / radios as matrix axes instead of
+    # single scenario attributes; only the scalar forms land on the scenario.
+    # An explicit name override also resets the matching params: they belong
+    # to the scenario's *own* workload/radio and would be passed as unknown
+    # constructor keywords to the named one (same reset build_matrix applies
+    # to its axis entries).
     workload = getattr(args, "workload", None)
     if isinstance(workload, str):
         explicit["workload"] = workload
+        explicit["workload_params"] = {}
+    radio = getattr(args, "radio", None)
+    if isinstance(radio, str):
+        explicit["radio_stack"] = radio
+        explicit["radio_params"] = {}
 
     spec = getattr(args, "scenario", None)
     if spec and spec not in available_scenario_kinds():
@@ -167,10 +187,20 @@ def _add_scenario_arguments(
             help="workload kinds/presets swept as a matrix axis "
                  "(default: the scenario's own, cbr; see 'list-workloads')",
         )
+        parser.add_argument(
+            "--radio", type=str, nargs="+", default=None, metavar="NAME",
+            help="radio kinds/presets swept as a matrix axis "
+                 "(default: the scenario's own, ideal-disk-250m; see 'list-radios')",
+        )
     else:
         parser.add_argument(
             "--workload", type=str, default=None, metavar="NAME",
             help="traffic workload kind or preset (default: cbr; see 'list-workloads')",
+        )
+        parser.add_argument(
+            "--radio", type=str, default=None, metavar="NAME",
+            help="radio stack kind or preset "
+                 "(default: ideal-disk-250m; see 'list-radios')",
         )
     parser.add_argument(
         "--flows", type=int, default=None,
@@ -208,24 +238,37 @@ def _result_row(result) -> dict:
     return row
 
 
-def _check_workloads(names: Sequence[str]) -> bool:
-    """Validate workload names up front; print the failure and return False.
+def _check_names(
+    label: str, names: Sequence[str], kinds: Sequence[str], presets: Sequence[str]
+) -> bool:
+    """Validate registry names up front; print the failure and return False.
 
-    Scenario workloads are otherwise resolved inside the runner (possibly in
-    a worker process), where an unknown name would surface as a raw
-    traceback instead of a usage error.
+    Scenario workloads/radios are otherwise resolved inside the runner
+    (possibly in a worker process), where an unknown name would surface as a
+    raw traceback instead of a usage error.
     """
-    known = set(available_workloads()) | set(available_workload_presets())
+    known = set(kinds) | set(presets)
     unknown = [name for name in names if name not in known]
     if unknown:
-        print(f"unknown workload(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"unknown {label}(s): {', '.join(unknown)}", file=sys.stderr)
         print(
-            f"available kinds: {', '.join(available_workloads())}; "
-            f"presets: {', '.join(available_workload_presets())}",
+            f"available kinds: {', '.join(kinds)}; presets: {', '.join(presets)}",
             file=sys.stderr,
         )
         return False
     return True
+
+
+def _check_workloads(names: Sequence[str]) -> bool:
+    """Up-front workload-name validation (see :func:`_check_names`)."""
+    return _check_names(
+        "workload", names, available_workloads(), available_workload_presets()
+    )
+
+
+def _check_radios(names: Sequence[str]) -> bool:
+    """Up-front radio-name validation (see :func:`_check_names`)."""
+    return _check_names("radio", names, available_radios(), available_radio_presets())
 
 
 def _resolve_scenario(args: argparse.Namespace) -> Optional[Scenario]:
@@ -250,6 +293,8 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
     if not _check_workloads([scenario.workload]):
         return 2
+    if scenario.radio_stack and not _check_radios([scenario.radio_stack]):
+        return 2
     runner = ExperimentRunner()
     try:
         result = runner.run(scenario, args.protocol)
@@ -272,6 +317,8 @@ def _command_compare(args: argparse.Namespace) -> int:
     if scenario is None:
         return 2
     if not _check_workloads([scenario.workload]):
+        return 2
+    if scenario.radio_stack and not _check_radios([scenario.radio_stack]):
         return 2
     try:
         results = sweep_protocols(scenario, args.protocols, runner=ExperimentRunner())
@@ -296,6 +343,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     workloads = args.workload if args.workload else None
     if not _check_workloads(workloads if workloads else [scenario.workload]):
         return 2
+    radios = args.radio if args.radio else None
+    if radios:
+        if not _check_radios(radios):
+            return 2
+    elif scenario.radio_stack and not _check_radios([scenario.radio_stack]):
+        return 2
     try:
         result = sweep_replications(
             [scenario],
@@ -303,6 +356,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             seeds=args.seeds,
             workers=args.workers,
             workloads=workloads,
+            radios=radios,
         )
     except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
@@ -311,6 +365,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     title = (
         f"Sweep on {scenario.name}: {len(args.protocols)} protocol(s) x "
         f"{len(workloads) if workloads else 1} workload(s) x "
+        f"{len(radios) if radios else 1} radio(s) x "
         f"{len(args.seeds)} seed(s), workers={args.workers}"
     )
     print(format_table(rows, title=title))
@@ -358,6 +413,21 @@ def _command_list_workloads(_: argparse.Namespace) -> int:
     )
     print()
     print("Select traffic with --workload; 'sweep' accepts several as a matrix axis.")
+    return 0
+
+
+def _command_list_radios(_: argparse.Namespace) -> int:
+    print(format_table(radio_rows(), columns=["radio", "description"], title="Radio kinds"))
+    print()
+    print(
+        format_table(
+            radio_preset_rows(),
+            columns=["preset", "kind", "nominal_range_m", "description"],
+            title="Radio presets",
+        )
+    )
+    print()
+    print("Select the channel with --radio; 'sweep' accepts several as a matrix axis.")
     return 0
 
 
@@ -418,6 +488,11 @@ def build_parser() -> argparse.ArgumentParser:
         "list-workloads", help="list registered workload kinds and named presets"
     )
     workloads_parser.set_defaults(func=_command_list_workloads)
+
+    radios_parser = subparsers.add_parser(
+        "list-radios", help="list registered radio kinds and named presets"
+    )
+    radios_parser.set_defaults(func=_command_list_radios)
     return parser
 
 

@@ -28,6 +28,15 @@ from repro.harness.scenario import (
     manhattan_scenario,
     trace_scenario,
 )
+from repro.radio import (
+    DEFAULT_RADIO,
+    RadioStack,
+    available_radio_presets,
+    available_radios,
+    radio_from_name,
+    register_radio,
+    register_radio_preset,
+)
 from repro.workloads import (
     Workload,
     available_workload_presets,
@@ -82,6 +91,13 @@ __all__ = [
     "register_workload_preset",
     "workload_from_name",
     "RadioConfig",
+    "DEFAULT_RADIO",
+    "RadioStack",
+    "available_radio_presets",
+    "available_radios",
+    "radio_from_name",
+    "register_radio",
+    "register_radio_preset",
     "Scenario",
     "city_scenario",
     "highway_scenario",

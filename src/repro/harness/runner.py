@@ -5,6 +5,12 @@ infrastructure, attaches the requested protocol to every node, hands traffic
 generation to the scenario's workload (resolved by name through
 :mod:`repro.workloads`), runs the simulation and returns the collected
 metrics.
+
+Every pluggable dimension of a run resolves through a registry: the mobility
+substrate (:mod:`repro.harness.scenarios`), the routing protocol
+(:mod:`repro.protocols.registry`), the traffic workload
+(:mod:`repro.workloads`) and the radio stack (:mod:`repro.radio.registry`).
+The runner itself hardcodes none of them.
 """
 
 from __future__ import annotations
@@ -17,12 +23,7 @@ from repro.mobility.vehicle import VehiclePositionProvider
 from repro.protocols.base import ProtocolConfig
 from repro.protocols.location import LocationService
 from repro.protocols.registry import make_protocol_factory
-from repro.radio.propagation import (
-    LogNormalShadowing,
-    TwoRayGroundPropagation,
-    UnitDiskPropagation,
-)
-from repro.radio.reception import SnrThresholdReception
+from repro.radio.registry import DEFAULT_RADIO, stack_for_scenario
 from repro.roadnet.graph import RoadGraph
 from repro.sim.engine import Simulator
 from repro.sim.medium import WirelessMedium
@@ -55,6 +56,7 @@ class RunRecord:
     rsu_count: int = 0
     wall_clock_s: float = 0.0
     workload: str = "cbr"
+    radio: str = DEFAULT_RADIO
 
     @property
     def metrics(self) -> Dict[str, float]:
@@ -64,11 +66,12 @@ class RunRecord:
         return merged
 
     def row(self) -> Dict[str, float]:
-        """Flat row (scenario + protocol + workload + seed + headline metrics)."""
+        """Flat row (scenario + protocol + workload + radio + seed + metrics)."""
         row: Dict[str, float] = {
             "scenario": self.scenario_name,
             "protocol": self.protocol,
             "workload": self.workload,
+            "radio": self.radio,
             "seed": self.seed,
             "vehicles": self.vehicle_count,
             "rsus": self.rsu_count,
@@ -94,6 +97,7 @@ class RunRecord:
             rsu_count=int(payload.get("rsu_count", 0)),
             wall_clock_s=float(payload.get("wall_clock_s", 0.0)),
             workload=str(payload.get("workload", "cbr")),
+            radio=str(payload.get("radio", DEFAULT_RADIO)),
         )
 
 
@@ -112,6 +116,7 @@ class RunResult:
     extra: Dict[str, float] = field(default_factory=dict)
     seed: int = 0
     workload: str = "cbr"
+    radio: str = DEFAULT_RADIO
 
     @property
     def delivery_ratio(self) -> float:
@@ -124,11 +129,12 @@ class RunResult:
         return self.summary["overhead_ratio"]
 
     def row(self) -> Dict[str, float]:
-        """Flat row (scenario + protocol + workload + headline metrics)."""
+        """Flat row (scenario + protocol + workload + radio + metrics)."""
         row: Dict[str, float] = {
             "scenario": self.scenario_name,
             "protocol": self.protocol,
             "workload": self.workload,
+            "radio": self.radio,
             "vehicles": self.vehicle_count,
             "rsus": self.rsu_count,
         }
@@ -149,6 +155,7 @@ class RunResult:
             rsu_count=self.rsu_count,
             wall_clock_s=self.wall_clock_s,
             workload=self.workload,
+            radio=self.radio,
         )
 
 
@@ -164,6 +171,8 @@ class BuiltScenario:
         vehicle_nodes: List[Node],
         road_graph: Optional[RoadGraph],
         trace: EventTrace,
+        radio_range_m: Optional[float] = None,
+        radio_name: str = DEFAULT_RADIO,
     ) -> None:
         self.scenario = scenario
         self.sim = sim
@@ -172,6 +181,20 @@ class BuiltScenario:
         self.vehicle_nodes = vehicle_nodes
         self.road_graph = road_graph
         self.trace = trace
+        #: Nominal radio range of the run's resolved radio stack, cached at
+        #: build time (the shadowed models solve it by bisection).  This is
+        #: the range workloads must use for reachability denominators and
+        #: ideal-hop estimates -- the scenario's ``radio.communication_range_m``
+        #: shim only describes the legacy unit-disk default.
+        self.radio_range_m = (
+            radio_range_m
+            if radio_range_m is not None
+            else scenario.radio.communication_range_m
+        )
+        #: Registry name the run's radio stack resolved from; recorded in
+        #: run records so results stay attributable to the stack actually
+        #: built (no parallel re-resolution that could drift).
+        self.radio_name = radio_name
         #: Lower-bound hop count sampled at each packet-send instant, keyed
         #: by the packet's end-to-end identity (``Packet.flow_key``); used by
         #: :meth:`ExperimentRunner._derive_extra` to estimate the path
@@ -193,12 +216,14 @@ class ExperimentRunner:
         sim = Simulator(seed=scenario.seed)
         stats = StatsCollector()
         trace = EventTrace(enabled=self.trace_enabled, max_records=self.trace_max_records)
-        propagation = self._build_propagation(scenario, sim)
-        reception = SnrThresholdReception()
+        # The radio stack is resolved through the radio registry
+        # (repro.radio.registry) -- scenario.radio_stack by name, or the
+        # legacy RadioConfig shim; random channel models draw from the
+        # simulator's "radio" stream.
+        radio_stack = stack_for_scenario(scenario, sim.rng.stream("radio"))
         medium = WirelessMedium(
             sim,
-            propagation=propagation,
-            reception=reception,
+            stack=radio_stack,
             stats=stats,
             trace=trace,
             spatial_backend=scenario.spatial_backend,
@@ -224,26 +249,22 @@ class ExperimentRunner:
                 node = network.add_bus(provider)
             else:
                 node = network.add_vehicle(provider)
-            node.tx_power_dbm = scenario.radio.tx_power_dbm
+            node.tx_power_dbm = radio_stack.tx_power_dbm
             vehicle_nodes.append(node)
         for position in built_mobility.rsu_positions:
             rsu = network.add_rsu(position)
-            rsu.tx_power_dbm = scenario.radio.tx_power_dbm
-        return BuiltScenario(scenario, sim, network, stats, vehicle_nodes, road_graph, trace)
-
-    def _build_propagation(self, scenario: Scenario, sim: Simulator):
-        radio = scenario.radio
-        if radio.propagation == "unit_disk":
-            return UnitDiskPropagation(radio.communication_range_m)
-        if radio.propagation == "two_ray":
-            return TwoRayGroundPropagation()
-        if radio.propagation == "shadowing":
-            return LogNormalShadowing(
-                path_loss_exponent=radio.path_loss_exponent,
-                sigma_db=radio.shadowing_sigma_db,
-                rng=sim.rng.stream("shadowing"),
-            )
-        raise ValueError(f"unknown propagation model {radio.propagation!r}")
+            rsu.tx_power_dbm = radio_stack.tx_power_dbm
+        return BuiltScenario(
+            scenario,
+            sim,
+            network,
+            stats,
+            vehicle_nodes,
+            road_graph,
+            trace,
+            radio_range_m=radio_stack.nominal_range_m(),
+            radio_name=radio_stack.name,
+        )
 
     # -------------------------------------------------------------------- run
     def run(
@@ -299,6 +320,7 @@ class ExperimentRunner:
             extra=extra,
             seed=scenario.seed,
             workload=scenario.workload,
+            radio=built.radio_name,
         )
         return result
 

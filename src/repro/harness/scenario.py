@@ -36,6 +36,15 @@ DEFAULT_FLOW_COUNT: int = 5
 class RadioConfig:
     """Radio configuration of a scenario.
 
+    .. deprecated::
+        ``RadioConfig`` is the legacy shim of the radio registry
+        (:mod:`repro.radio.registry`): its fields are mapped onto the
+        matching registered radio kind (``unit_disk`` / ``two_ray`` /
+        ``shadowing``), and an untouched default resolves to the
+        ``ideal-disk-250m`` preset.  New scenarios name a complete stack via
+        ``Scenario.radio_stack`` / ``Scenario.radio_params`` instead, which
+        also exposes reception, interference and MAC choices.
+
     Attributes:
         propagation: ``"unit_disk"``, ``"two_ray"`` or ``"shadowing"``.
         communication_range_m: Range of the unit-disk model (and the range
@@ -100,7 +109,18 @@ class Scenario:
         highway / manhattan / city / waypoint: Mobility-model configurations
             (only the one matching ``kind`` is consulted).
         trace_path: FCD trace file driving a ``"trace"`` scenario.
-        radio: Radio configuration.
+        radio_stack: Radio/channel profile, resolved by name through the
+            radio registry (:mod:`repro.radio.registry`): a kind such as
+            ``"unit_disk"``, ``"shadowing"`` or ``"nakagami"``, or a preset
+            such as ``"dsrc-urban-nlos"``.  ``None`` (the default) falls
+            back to the :class:`RadioConfig` shim -- an untouched ``radio``
+            resolves to the ``ideal-disk-250m`` preset.
+        radio_params: Keyword parameters handed to the radio builder (on
+            top of a preset's own parameters), e.g. ``{"m": 1.0}`` for
+            Rayleigh-depth ``nakagami`` fading.
+        radio: Deprecated radio shim -- legacy field-level radio settings,
+            mapped onto the registry by the runner; only consulted when
+            ``radio_stack`` is unset.
         rsu_spacing_m: Distance between road-side units (``None`` = no RSUs).
         bus_count: Number of vehicles designated as buses (Bus-Ferry).
         workload: Application-traffic model, resolved by name through the
@@ -135,6 +155,8 @@ class Scenario:
     city: CityConfig = field(default_factory=CityConfig)
     waypoint: RandomWaypointConfig = field(default_factory=RandomWaypointConfig)
     trace_path: Optional[str] = None
+    radio_stack: Optional[str] = None
+    radio_params: Dict[str, object] = field(default_factory=dict)
     radio: RadioConfig = field(default_factory=RadioConfig)
     rsu_spacing_m: Optional[float] = None
     bus_count: int = 0

@@ -1,11 +1,11 @@
-"""Parameter sweeps over scenarios, protocols and replication seeds.
+"""Parameter sweeps over scenarios, protocols, workloads, radios and seeds.
 
 The paper's category comparison (Table I / Figs. 2-6) is only meaningful when
 every (scenario, protocol) cell is replicated over several random seeds.  This
 module provides the machinery for that:
 
-* :func:`build_matrix` expands scenarios x protocols x seeds into an explicit
-  list of :class:`SweepCell` run descriptions,
+* :func:`build_matrix` expands scenarios x protocols x workloads x radios x
+  seeds into an explicit list of :class:`SweepCell` run descriptions,
 * :func:`execute_cells` runs any picklable cell list through a worker
   function, either serially or across a ``ProcessPoolExecutor``, always
   returning results in cell order (so parallel and serial execution are
@@ -33,6 +33,7 @@ from repro.harness.runner import ExperimentRunner, RunRecord, RunResult
 from repro.harness.scenario import Scenario
 from repro.mobility.generator import TrafficDensity
 from repro.protocols.base import ProtocolConfig
+from repro.radio.registry import DEFAULT_RADIO
 
 _CellT = TypeVar("_CellT")
 _ResultT = TypeVar("_ResultT")
@@ -76,14 +77,18 @@ def build_matrix(
     seeds: Sequence[int],
     protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
     workloads: Optional[Sequence[str]] = None,
+    radios: Optional[Sequence[str]] = None,
 ) -> List[SweepCell]:
-    """Expand scenarios x protocols x workloads x seeds into a cell list.
+    """Expand scenarios x protocols x workloads x radios x seeds into cells.
 
     The matrix order is deterministic (scenario-major, then protocol, then
-    workload, then seed), which fixes both the execution schedule and the
-    ordering of every downstream report.  ``workloads`` is an optional sweep
-    axis of workload kind/preset names; when omitted every cell keeps the
-    scenario's own ``workload`` (``"cbr"`` by default).
+    workload, then radio, then seed), which fixes both the execution
+    schedule and the ordering of every downstream report.  ``workloads`` is
+    an optional sweep axis of workload kind/preset names; when omitted every
+    cell keeps the scenario's own ``workload`` (``"cbr"`` by default).
+    ``radios`` is the optional radio axis (radio kind/preset names resolved
+    through :mod:`repro.radio.registry`); when omitted every cell keeps the
+    scenario's own radio stack (``ideal-disk-250m`` by default).
     """
     if not seeds:
         raise ValueError("at least one replication seed is required")
@@ -94,10 +99,13 @@ def build_matrix(
     if workloads is not None and len(set(workloads)) != len(workloads):
         # Same reasoning as seeds: a repeated workload duplicates cells.
         raise ValueError("sweep workloads must be unique")
+    if radios is not None and len(set(radios)) != len(radios):
+        # Same reasoning as seeds: a repeated radio duplicates cells.
+        raise ValueError("sweep radios must be unique")
     names = [scenario.name for scenario in scenarios]
     duplicates = sorted({name for name in names if names.count(name) > 1})
     if duplicates:
-        # Aggregation groups by (scenario name, protocol, workload);
+        # Aggregation groups by (scenario name, protocol, workload, radio);
         # scenarios sharing a name would be merged into one cell and corrupt
         # the statistics.
         raise ValueError(f"scenario names must be unique, duplicated: {duplicates}")
@@ -117,6 +125,14 @@ def build_matrix(
             varied_scenarios = [
                 scenario.with_overrides(workload=workload, workload_params={})
                 for workload in workloads
+            ]
+        if radios is not None:
+            # Same reset logic as the workload axis: radio_params belong to
+            # the scenario's own stack, not to the axis entries.
+            varied_scenarios = [
+                varied.with_overrides(radio_stack=radio, radio_params={})
+                for varied in varied_scenarios
+                for radio in radios
             ]
         for protocol in protocol_names:
             for varied in varied_scenarios:
@@ -213,13 +229,14 @@ HEADLINE_METRICS: Tuple[str, ...] = (
 
 @dataclass
 class ReplicatedResult:
-    """Per-(scenario, protocol, workload) aggregate over replication seeds."""
+    """Per-(scenario, protocol, workload, radio) aggregate over seeds."""
 
     scenario_name: str
     protocol: str
     seeds: Tuple[int, ...]
     metrics: Dict[str, MetricAggregate]
     workload: str = "cbr"
+    radio: str = DEFAULT_RADIO
 
     @property
     def replications(self) -> int:
@@ -243,6 +260,7 @@ class ReplicatedResult:
             "scenario": self.scenario_name,
             "protocol": self.protocol,
             "workload": self.workload,
+            "radio": self.radio,
             "replications": self.replications,
         }
         for name in selected:
@@ -257,6 +275,7 @@ class ReplicatedResult:
             "scenario_name": self.scenario_name,
             "protocol": self.protocol,
             "workload": self.workload,
+            "radio": self.radio,
             "seeds": list(self.seeds),
             "metrics": {name: agg.to_dict() for name, agg in sorted(self.metrics.items())},
         }
@@ -272,23 +291,24 @@ class ReplicatedResult:
                 for name, agg in payload.get("metrics", {}).items()
             },
             workload=str(payload.get("workload", "cbr")),
+            radio=str(payload.get("radio", DEFAULT_RADIO)),
         )
 
 
 def aggregate_records(records: Iterable[RunRecord]) -> List[ReplicatedResult]:
     """Fold per-seed records into one :class:`ReplicatedResult` per cell.
 
-    Cells are keyed by (scenario name, protocol, workload) and appear in
-    first-seen order; within a cell, every metric present in any seed's
+    Cells are keyed by (scenario name, protocol, workload, radio) and appear
+    in first-seen order; within a cell, every metric present in any seed's
     record is aggregated over the seeds that report it.
     """
-    grouped: Dict[Tuple[str, str, str], List[RunRecord]] = {}
+    grouped: Dict[Tuple[str, str, str, str], List[RunRecord]] = {}
     for record in records:
         grouped.setdefault(
-            (record.scenario_name, record.protocol, record.workload), []
+            (record.scenario_name, record.protocol, record.workload, record.radio), []
         ).append(record)
     replicated: List[ReplicatedResult] = []
-    for (scenario_name, protocol, workload), bucket in grouped.items():
+    for (scenario_name, protocol, workload, radio), bucket in grouped.items():
         metric_names = sorted({name for record in bucket for name in record.metrics})
         metrics = {
             name: MetricAggregate.of(
@@ -303,6 +323,7 @@ def aggregate_records(records: Iterable[RunRecord]) -> List[ReplicatedResult]:
                 seeds=tuple(record.seed for record in bucket),
                 metrics=metrics,
                 workload=workload,
+                radio=radio,
             )
         )
     return replicated
@@ -351,16 +372,20 @@ def sweep_replications(
     workers: int = 1,
     protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
     workloads: Optional[Sequence[str]] = None,
+    radios: Optional[Sequence[str]] = None,
 ) -> SweepResult:
-    """Run the scenario x protocol x workload x seed matrix and aggregate it.
+    """Run the scenario x protocol x workload x radio x seed matrix.
 
     ``workers=1`` runs serially in-process; ``workers > 1`` fans the cells
     out over a process pool.  Both schedules produce identical
     :class:`SweepResult` contents because every cell is seeded explicitly and
     results are re-assembled in matrix order.  ``workloads`` adds the
-    workload axis; omitted, every cell keeps the scenario's own workload.
+    workload axis and ``radios`` the radio axis; omitted, every cell keeps
+    the scenario's own workload / radio stack.
     """
-    cells = build_matrix(scenarios, protocol_names, seeds, protocol_configs, workloads)
+    cells = build_matrix(
+        scenarios, protocol_names, seeds, protocol_configs, workloads, radios
+    )
     records = execute_cells(cells, run_cell, workers=workers)
     return SweepResult(records=records, replicated=aggregate_records(records))
 

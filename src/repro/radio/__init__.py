@@ -6,17 +6,31 @@ The paper repeatedly appeals to two physical facts about DSRC radios:
 * the received signal is random -- "normally or log-normally distributed"
   (Sec. VII.A) -- so links exist only probabilistically.
 
-This package supplies those facts to the simulator: deterministic and
-shadowed propagation models, an SNR-based reception decision, additive
-interference, and a CSMA/CA-flavoured MAC with carrier sensing, random
-backoff and collisions (the mechanism behind the broadcast-storm problem).
+This package supplies those facts to the simulator: deterministic, shadowed
+and fading propagation models, SNR-based and probabilistic reception
+decisions, pluggable interference combination, and a CSMA/CA-flavoured MAC
+with carrier sensing, random backoff and collisions (the mechanism behind
+the broadcast-storm problem).
+
+The four channel components compose into a named
+:class:`~repro.radio.stack.RadioStack` resolved through the radio registry
+(:mod:`repro.radio.registry`) -- the fourth sweep axis next to scenarios,
+protocols and workloads.
 """
 
-from repro.radio.interference import combine_dbm, dbm_to_mw, mw_to_dbm
+from repro.radio.interference import (
+    AdditiveInterference,
+    InterferenceModel,
+    NoInterference,
+    combine_dbm,
+    dbm_to_mw,
+    mw_to_dbm,
+)
 from repro.radio.mac import CsmaCaMac, MacConfig
 from repro.radio.propagation import (
     FreeSpacePropagation,
     LogNormalShadowing,
+    NakagamiFading,
     PropagationModel,
     TwoRayGroundPropagation,
     UnitDiskPropagation,
@@ -27,20 +41,50 @@ from repro.radio.reception import (
     ReceptionModel,
     SnrThresholdReception,
 )
+from repro.radio.registry import (
+    DEFAULT_RADIO,
+    available_radio_presets,
+    available_radios,
+    radio_from_name,
+    radio_preset_rows,
+    radio_rows,
+    register_radio,
+    register_radio_preset,
+    stack_for_scenario,
+    unregister_radio,
+    unregister_radio_preset,
+)
+from repro.radio.stack import RadioStack
 
 __all__ = [
     "combine_dbm",
     "dbm_to_mw",
     "mw_to_dbm",
+    "InterferenceModel",
+    "AdditiveInterference",
+    "NoInterference",
     "CsmaCaMac",
     "MacConfig",
     "PropagationModel",
     "FreeSpacePropagation",
     "TwoRayGroundPropagation",
     "LogNormalShadowing",
+    "NakagamiFading",
     "UnitDiskPropagation",
     "ReceptionModel",
     "ReceptionDecision",
     "SnrThresholdReception",
     "ProbabilisticReception",
+    "RadioStack",
+    "DEFAULT_RADIO",
+    "available_radio_presets",
+    "available_radios",
+    "radio_from_name",
+    "radio_preset_rows",
+    "radio_rows",
+    "register_radio",
+    "register_radio_preset",
+    "stack_for_scenario",
+    "unregister_radio",
+    "unregister_radio_preset",
 ]

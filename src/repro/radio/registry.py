@@ -1,0 +1,412 @@
+"""Registry of radio kinds and named radio-stack presets.
+
+This module does for the physical channel what
+:mod:`repro.protocols.registry` does for routing protocols,
+:mod:`repro.harness.scenarios` does for mobility substrates and
+:mod:`repro.workloads.registry` does for application traffic: the harness
+refers to radio stacks by name and resolves them here, so adding a channel
+model is a registry entry rather than a change to the runner.  The radio is
+the fourth sweep axis (scenario x protocol x workload x **radio** x seed).
+
+Two registries live here:
+
+* **Kinds** (:data:`RADIO_TYPES`) map a kind string (``"unit_disk"``,
+  ``"shadowing"``, ``"nakagami"``, ...) to a builder producing a
+  :class:`~repro.radio.stack.RadioStack` from the simulator's seeded
+  ``"radio"`` stream plus scalar parameters.
+* **Presets** (:data:`RADIO_PRESETS`) map a human-friendly name such as
+  ``dsrc-urban-nlos`` to a ready-made parameterisation (propagation +
+  reception + interference + MAC together).
+
+Stacks are *built per run*: random channel models (shadowing, Nakagami
+fading, probabilistic reception) hold the run's random stream, so a shared
+instance would leak draws between runs.  ``radio_from_name(spec, rng=...)``
+therefore returns a fresh stack each call.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.radio.interference import (
+    AdditiveInterference,
+    InterferenceModel,
+    NoInterference,
+)
+from repro.radio.mac import MacConfig
+from repro.radio.propagation import (
+    FreeSpacePropagation,
+    LogNormalShadowing,
+    NakagamiFading,
+    TwoRayGroundPropagation,
+    UnitDiskPropagation,
+)
+from repro.radio.reception import (
+    ProbabilisticReception,
+    ReceptionModel,
+    SnrThresholdReception,
+)
+from repro.radio.stack import RadioStack
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a harness cycle)
+    from repro.harness.scenario import Scenario
+
+#: The registry name of the stack every scenario uses unless it asks for
+#: another: the idealised 250 m unit disk behind the paper's Eqn. 4,
+#: trace-equivalent to the pre-registry hardwired radio.
+DEFAULT_RADIO = "ideal-disk-250m"
+
+#: A builder takes the simulator's seeded ``"radio"`` stream plus scalar
+#: parameters and returns a fresh :class:`RadioStack`.
+RadioBuilder = Callable[..., RadioStack]
+
+#: kind name -> builder, for every registered radio kind.
+RADIO_TYPES: Dict[str, RadioBuilder] = {}
+
+
+def register_radio(name: str) -> Callable[[RadioBuilder], RadioBuilder]:
+    """Function decorator registering a radio-stack builder under ``name``."""
+
+    def decorator(builder: RadioBuilder) -> RadioBuilder:
+        if name in RADIO_TYPES:
+            raise ValueError(f"radio kind {name!r} is already registered")
+        RADIO_TYPES[name] = builder
+        return builder
+
+    return decorator
+
+
+def unregister_radio(name: str) -> None:
+    """Remove a registered radio kind (plug-in teardown / tests)."""
+    RADIO_TYPES.pop(name, None)
+
+
+def available_radios() -> List[str]:
+    """Names of all registered radio kinds, sorted."""
+    return sorted(RADIO_TYPES)
+
+
+# ------------------------------------------------------------------ presets
+@dataclass(frozen=True)
+class RadioPreset:
+    """A named ready-made radio-stack parameterisation.
+
+    ``kind`` is the underlying radio kind, recorded at registration so
+    catalogue listings never need to instantiate the preset.
+    """
+
+    name: str
+    factory: Callable[..., RadioStack]
+    description: str
+    kind: str = ""
+
+    def build(self, rng: random.Random, **overrides) -> RadioStack:
+        """Instantiate the preset (a fresh RadioStack each call)."""
+        return self.factory(rng, **overrides)
+
+
+#: preset name -> preset, for every registered preset.
+RADIO_PRESETS: Dict[str, RadioPreset] = {}
+
+
+def register_radio_preset(
+    name: str, factory: Callable[..., RadioStack], description: str, kind: str = ""
+) -> None:
+    """Register a named preset built by ``factory(rng, **overrides)``."""
+    if name in RADIO_PRESETS:
+        raise ValueError(f"radio preset {name!r} is already registered")
+    RADIO_PRESETS[name] = RadioPreset(name, factory, description, kind)
+
+
+def unregister_radio_preset(name: str) -> None:
+    """Remove a registered radio preset (plug-in teardown / tests)."""
+    RADIO_PRESETS.pop(name, None)
+
+
+def available_radio_presets() -> List[str]:
+    """Names of all registered radio presets, sorted."""
+    return sorted(RADIO_PRESETS)
+
+
+def radio_from_name(
+    spec: str, rng: Optional[random.Random] = None, **params
+) -> RadioStack:
+    """Resolve a radio stack by string, the way the CLI's ``--radio`` does.
+
+    Resolution order for ``spec``:
+
+    1. A registered preset name (see :func:`available_radio_presets`);
+       ``params`` override the preset's own parameters.
+    2. A registered kind (``"unit_disk"``, ``"nakagami"``, ...), built with
+       ``params`` as builder keywords.
+
+    ``rng`` must be the simulator's ``"radio"`` stream for reproducible
+    runs; a fixed ``Random(0)`` is substituted for catalogue listings and
+    ad-hoc inspection.
+    """
+    if rng is None:
+        rng = random.Random(0)
+    if spec in RADIO_PRESETS:
+        stack = RADIO_PRESETS[spec].build(rng, **params)
+    elif spec in RADIO_TYPES:
+        stack = RADIO_TYPES[spec](rng, **params)
+    else:
+        raise KeyError(
+            f"unknown radio {spec!r}; registered kinds: "
+            f"{', '.join(available_radios())}; presets: "
+            f"{', '.join(available_radio_presets())}"
+        )
+    stack.name = spec
+    return stack
+
+
+def stack_for_scenario(scenario: "Scenario", rng: random.Random) -> RadioStack:
+    """Build the radio stack a scenario asks for.
+
+    Resolution order:
+
+    1. ``scenario.radio_stack`` (a kind or preset name) with
+       ``scenario.radio_params`` as overrides.
+    2. The legacy :class:`~repro.harness.scenario.RadioConfig` shim: an
+       untouched default config resolves to :data:`DEFAULT_RADIO`; a
+       customised one maps its fields onto the matching kind builder, so
+       pre-registry scenarios keep working unchanged.
+    """
+    if scenario.radio_stack:
+        return radio_from_name(scenario.radio_stack, rng=rng, **dict(scenario.radio_params))
+    # Imported lazily: the harness imports this module at class-definition
+    # time, so a module-level import back into the harness would cycle.
+    from repro.harness.scenario import RadioConfig
+
+    radio = scenario.radio
+    if radio == RadioConfig():
+        return radio_from_name(DEFAULT_RADIO, rng=rng)
+    if radio.propagation == "unit_disk":
+        params = {
+            "communication_range_m": radio.communication_range_m,
+            "tx_power_dbm": radio.tx_power_dbm,
+        }
+    elif radio.propagation == "two_ray":
+        params = {"tx_power_dbm": radio.tx_power_dbm}
+    elif radio.propagation == "shadowing":
+        params = {
+            "path_loss_exponent": radio.path_loss_exponent,
+            "sigma_db": radio.shadowing_sigma_db,
+            "tx_power_dbm": radio.tx_power_dbm,
+        }
+    else:
+        raise ValueError(f"unknown propagation model {radio.propagation!r}")
+    return radio_from_name(radio.propagation, rng=rng, **params)
+
+
+# ----------------------------------------------------------------- listings
+def radio_rows() -> List[Dict[str, str]]:
+    """One report row per registered radio kind (for ``list-radios``)."""
+    rows: List[Dict[str, str]] = []
+    for name in available_radios():
+        doc = (RADIO_TYPES[name].__doc__ or "").strip().splitlines()
+        rows.append({"radio": name, "description": doc[0] if doc else ""})
+    return rows
+
+
+def radio_preset_rows() -> List[Dict[str, str]]:
+    """One report row per radio preset (for ``list-radios`` / README)."""
+    rows: List[Dict[str, str]] = []
+    for name in available_radio_presets():
+        preset = RADIO_PRESETS[name]
+        stack = preset.build(random.Random(0))
+        rows.append(
+            {
+                "preset": name,
+                "kind": preset.kind,
+                "nominal_range_m": f"{stack.nominal_range_m():.0f}",
+                "description": preset.description,
+            }
+        )
+    return rows
+
+
+# ------------------------------------------------------------ built-in kinds
+def _components(
+    mac: Optional[MacConfig],
+    reception: Optional[ReceptionModel],
+    interference: Optional[InterferenceModel],
+):
+    """Shared component defaulting for the kind builders."""
+    return (
+        mac if mac is not None else MacConfig(),
+        reception if reception is not None else SnrThresholdReception(),
+        interference if interference is not None else AdditiveInterference(),
+    )
+
+
+@register_radio("unit_disk")
+def _build_unit_disk(
+    rng: random.Random,
+    communication_range_m: float = 250.0,
+    tx_power_dbm: float = 20.0,
+    mac: Optional[MacConfig] = None,
+    reception: Optional[ReceptionModel] = None,
+    interference: Optional[InterferenceModel] = None,
+) -> RadioStack:
+    """Idealised fixed-range disk (the paper's Eqn. 4 channel)."""
+    mac, reception, interference = _components(mac, reception, interference)
+    return RadioStack(
+        propagation=UnitDiskPropagation(communication_range_m),
+        reception=reception,
+        interference=interference,
+        mac=mac,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+@register_radio("free_space")
+def _build_free_space(
+    rng: random.Random,
+    tx_power_dbm: float = 20.0,
+    mac: Optional[MacConfig] = None,
+    reception: Optional[ReceptionModel] = None,
+    interference: Optional[InterferenceModel] = None,
+) -> RadioStack:
+    """Friis free-space path loss with SNR-threshold reception."""
+    mac, reception, interference = _components(mac, reception, interference)
+    return RadioStack(
+        propagation=FreeSpacePropagation(),
+        reception=reception,
+        interference=interference,
+        mac=mac,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+@register_radio("two_ray")
+def _build_two_ray(
+    rng: random.Random,
+    antenna_height_m: float = 1.5,
+    tx_power_dbm: float = 20.0,
+    mac: Optional[MacConfig] = None,
+    reception: Optional[ReceptionModel] = None,
+    interference: Optional[InterferenceModel] = None,
+) -> RadioStack:
+    """Two-ray ground reflection (the standard DSRC highway channel)."""
+    mac, reception, interference = _components(mac, reception, interference)
+    return RadioStack(
+        propagation=TwoRayGroundPropagation(antenna_height_m=antenna_height_m),
+        reception=reception,
+        interference=interference,
+        mac=mac,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+@register_radio("shadowing")
+def _build_shadowing(
+    rng: random.Random,
+    path_loss_exponent: float = 2.8,
+    sigma_db: float = 4.0,
+    tx_power_dbm: float = 20.0,
+    mac: Optional[MacConfig] = None,
+    reception: Optional[ReceptionModel] = None,
+    interference: Optional[InterferenceModel] = None,
+) -> RadioStack:
+    """Log-normal shadowing (the paper's Sec. VII.A signal model)."""
+    mac, reception, interference = _components(mac, reception, interference)
+    return RadioStack(
+        propagation=LogNormalShadowing(
+            path_loss_exponent=path_loss_exponent, sigma_db=sigma_db, rng=rng
+        ),
+        reception=reception,
+        interference=interference,
+        mac=mac,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+@register_radio("nakagami")
+def _build_nakagami(
+    rng: random.Random,
+    m: float = 3.0,
+    tx_power_dbm: float = 20.0,
+    mac: Optional[MacConfig] = None,
+    reception: Optional[ReceptionModel] = None,
+    interference: Optional[InterferenceModel] = None,
+) -> RadioStack:
+    """Nakagami-m fast fading over two-ray mean loss (Rayleigh at m=1)."""
+    mac, reception, interference = _components(mac, reception, interference)
+    return RadioStack(
+        propagation=NakagamiFading(m=m, rng=rng),
+        reception=reception,
+        interference=interference,
+        mac=mac,
+        tx_power_dbm=tx_power_dbm,
+    )
+
+
+# -------------------------------------------------------------- presets
+def _register_builtin_presets() -> None:
+    register_radio_preset(
+        DEFAULT_RADIO,
+        lambda rng, **overrides: RADIO_TYPES["unit_disk"](
+            rng, **{"communication_range_m": 250.0, **overrides}
+        ),
+        "idealised 250 m unit disk, deterministic SINR reception (the default)",
+        kind="unit_disk",
+    )
+    register_radio_preset(
+        "dsrc-highway-los",
+        lambda rng, **overrides: RADIO_TYPES["two_ray"](rng, **overrides),
+        "line-of-sight highway DSRC: two-ray ground loss, SNR-threshold reception",
+        kind="two_ray",
+    )
+    register_radio_preset(
+        "dsrc-urban-nlos",
+        lambda rng, **overrides: RADIO_TYPES["shadowing"](
+            rng,
+            **{
+                "path_loss_exponent": 3.0,
+                "sigma_db": 6.0,
+                "reception": ProbabilisticReception(),
+                **overrides,
+            },
+        ),
+        "urban non-line-of-sight DSRC: heavy log-normal shadowing, probabilistic reception",
+        kind="shadowing",
+    )
+    register_radio_preset(
+        "dsrc-congested",
+        lambda rng, **overrides: RADIO_TYPES["unit_disk"](
+            rng,
+            **{
+                "communication_range_m": 250.0,
+                "mac": MacConfig(cw_min=7, cw_max=255),
+                "reception": SnrThresholdReception(noise_floor_dbm=-90.0),
+                **overrides,
+            },
+        ),
+        "channel-congestion stress: 250 m disk, shortened contention window, raised noise floor",
+        kind="unit_disk",
+    )
+
+
+_register_builtin_presets()
+
+
+__all__ = [
+    "DEFAULT_RADIO",
+    "RADIO_PRESETS",
+    "RADIO_TYPES",
+    "RadioBuilder",
+    "RadioPreset",
+    "available_radio_presets",
+    "available_radios",
+    "radio_from_name",
+    "radio_preset_rows",
+    "radio_rows",
+    "register_radio",
+    "register_radio_preset",
+    "stack_for_scenario",
+    "unregister_radio",
+    "unregister_radio_preset",
+]

@@ -23,17 +23,13 @@ applies to reception.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.geometry import Vec2
-from repro.radio.interference import NO_SIGNAL_DBM, combine_dbm
-from repro.radio.propagation import PropagationModel, UnitDiskPropagation
-from repro.radio.reception import (
-    ReceptionDecision,
-    ReceptionModel,
-    SnrThresholdReception,
-)
+from repro.radio.interference import NO_SIGNAL_DBM
+from repro.radio.propagation import PropagationModel
+from repro.radio.reception import ReceptionDecision, ReceptionModel
 from repro.sim.engine import Simulator
 from repro.sim.packet import BROADCAST, Packet
 from repro.sim.spatial import make_spatial_index
@@ -42,6 +38,7 @@ from repro.sim.trace import EventTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.radio.mac import MacConfig
+    from repro.radio.stack import RadioStack
     from repro.sim.node import Node
 
 
@@ -62,7 +59,18 @@ class ActiveTransmission:
 class WirelessMedium:
     """Shared channel connecting every registered node.
 
+    The channel models come either from an assembled
+    :class:`~repro.radio.stack.RadioStack` (``stack=...``, what the harness
+    passes after resolving the scenario's radio through the registry) or
+    from the individual ``propagation`` / ``reception`` / ``mac_config``
+    arguments; explicit individual arguments override the stack's
+    components, and whatever is still unset falls back to the defaults
+    (unit disk, SNR threshold, additive interference, 802.11p MAC).
+
     Args:
+        stack: A complete radio profile supplying propagation, reception,
+            interference combination, MAC parameters and transmit power in
+            one object.
         spatial_backend: ``"grid"`` (default) or ``"linear"`` -- how receiver
             and carrier-sense candidates are looked up.
         cell_size_m: Grid cell size; defaults to the reception cutoff.
@@ -85,17 +93,36 @@ class WirelessMedium:
         cell_size_m: Optional[float] = None,
         position_slack_m: float = 100.0,
         position_refresh_s: float = 0.5,
+        stack: Optional["RadioStack"] = None,
     ) -> None:
         self.sim = sim
-        self.propagation = propagation if propagation is not None else UnitDiskPropagation()
-        self.reception = reception if reception is not None else SnrThresholdReception()
         # Imported here (not at module level) to break the import cycle
         # radio.mac -> sim.packet -> sim.medium -> radio.mac, which made
         # `import repro.radio` fail when it ran before `import repro.sim`.
-        from repro.radio.mac import MacConfig
+        from repro.radio.stack import RadioStack
 
+        # Explicit component arguments override the stack's models on a
+        # *copy*: the caller's stack object stays as it was resolved (it may
+        # be shared with reporting or a later medium).  Without a stack they
+        # fill one in over RadioStack's defaults (unit disk, SNR threshold,
+        # additive interference, 802.11p MAC).
+        overrides = {}
+        if propagation is not None:
+            overrides["propagation"] = propagation
+        if reception is not None:
+            overrides["reception"] = reception
+        if mac_config is not None:
+            overrides["mac"] = mac_config
+        if stack is None:
+            stack = RadioStack(**overrides)
+        elif overrides:
+            stack = replace(stack, **overrides)
+        self.stack = stack
+        self.propagation = stack.propagation
+        self.reception = stack.reception
+        self.interference = stack.interference
         self.stats = stats if stats is not None else StatsCollector()
-        self.mac_config = mac_config if mac_config is not None else MacConfig()
+        self.mac_config = stack.mac
         self.trace = trace if trace is not None else EventTrace(enabled=False)
         #: Carrier sensing is typically more sensitive than frame decoding.
         self.carrier_sense_threshold_dbm = (
@@ -124,7 +151,9 @@ class WirelessMedium:
         self._max_tx_power_dbm: Optional[float] = None
 
     def _default_cell_size(self) -> float:
-        nominal = self.propagation.nominal_range(20.0, self.reception.sensitivity_dbm)
+        nominal = self.propagation.nominal_range(
+            self.stack.tx_power_dbm, self.reception.sensitivity_dbm
+        )
         return nominal * 2.0 if nominal > 0 else 500.0
 
     # --------------------------------------------------------------- topology
@@ -265,16 +294,21 @@ class WirelessMedium:
         # (by the triangle inequality) every transmission that can interfere
         # at any of them sits within `cutoff + carrier-sense reach` of the
         # sender.  Fetching the overlap-filtered candidates once here keeps
-        # the per-receiver interference loop free of index queries.
-        interferers = [
-            other
-            for other in self._transmissions_near(
-                transmission.sender_position, cutoff + self._carrier_sense_reach()
-            )
-            if other.uid != transmission.uid
-            and other.end > transmission.start
-            and other.start < transmission.end
-        ]
+        # the per-receiver interference loop free of index queries.  A model
+        # that ignores contributions (NoInterference) skips the whole
+        # gathering: per-interferer rx powers are a per-frame hot path.
+        if self.interference.uses_contributions:
+            interferers = [
+                other
+                for other in self._transmissions_near(
+                    transmission.sender_position, cutoff + self._carrier_sense_reach()
+                )
+                if other.uid != transmission.uid
+                and other.end > transmission.start
+                and other.start < transmission.end
+            ]
+        else:
+            interferers = []
         for node in self._nodes_near(transmission.sender_position, cutoff):
             if node.node_id == transmission.sender_id:
                 continue
@@ -332,7 +366,11 @@ class WirelessMedium:
     def _interference_at(
         self, position: Vec2, interferers: List[ActiveTransmission]
     ) -> float:
-        """Aggregate power of the overlapping ``interferers`` at ``position``."""
+        """Aggregate power of the overlapping ``interferers`` at ``position``.
+
+        How the contributions combine is the stack's interference model
+        (additive power by default).
+        """
         contributions: List[float] = []
         rx_power_dbm = self.propagation.rx_power_dbm
         for other in interferers:
@@ -341,7 +379,7 @@ class WirelessMedium:
                 contributions.append(power)
         if not contributions:
             return NO_SIGNAL_DBM
-        return combine_dbm(contributions)
+        return self.interference.combine(contributions)
 
     def _reception_cutoff(self, tx_power_dbm: float) -> float:
         """Distance beyond which reception is impossible (evaluation cutoff)."""

@@ -46,7 +46,15 @@ class FlowStats:
     offered: int = 0
     delays: List[float] = field(default_factory=list)
     hop_counts: List[int] = field(default_factory=list)
+    #: Unicast dedup: one ``Packet.flow_key`` per delivered packet (bounded
+    #: by the flow's packet count, and consumed by the path-stretch metric).
     _delivered_seqs: Set[Tuple] = field(default_factory=set)
+    #: Broadcast dedup: per in-flight packet, the receivers already counted.
+    #: Entries are dropped by :meth:`retire` once a packet can no longer be
+    #: received (the workload knows the linger bound), so a city-scale 10 Hz
+    #: beacon run holds a sliding window of beacons instead of one
+    #: (receiver, packet) tuple per delivery for the whole run.
+    _receivers_by_key: Dict[Tuple, Set[int]] = field(default_factory=dict)
 
     @property
     def effective_offered(self) -> int:
@@ -90,8 +98,37 @@ class FlowStats:
 
     @property
     def delivered_keys(self) -> Set[Tuple]:
-        """End-to-end identities (``Packet.flow_key``) of delivered packets."""
+        """End-to-end identities (``Packet.flow_key``) of delivered packets.
+
+        For broadcast flows only packets whose dedup entry has not been
+        retired yet are reported (the consumer of this property -- the
+        path-stretch metric -- only samples unicast flows, which never
+        retire).
+        """
+        if self.mode == "broadcast":
+            return set(self._receivers_by_key)
         return set(self._delivered_seqs)
+
+    @property
+    def dedup_entries(self) -> int:
+        """Number of (receiver, packet) dedup tuples currently held.
+
+        Memory diagnostic: for broadcast flows this must stay bounded by the
+        in-flight packet window, not grow with every delivery of the run.
+        """
+        if self.mode == "broadcast":
+            return sum(len(receivers) for receivers in self._receivers_by_key.values())
+        return len(self._delivered_seqs)
+
+    def retire(self, key: Tuple) -> None:
+        """Drop the dedup state of one packet identity (``Packet.flow_key``).
+
+        Called by broadcast workloads once a packet can no longer be
+        received (its scope linger expired); a reception arriving after
+        retirement would be counted again, so the caller must only retire
+        keys it also stops matching deliveries for.
+        """
+        self._receivers_by_key.pop(key, None)
 
 
 class StatsCollector:
@@ -171,11 +208,19 @@ class StatsCollector:
         flow = self.register_flow(packet.flow_id, packet.source, packet.destination)
         key = packet.flow_key
         if flow.mode == "broadcast" and receiver is not None:
-            key = (receiver,) + key
-        if key in flow._delivered_seqs:
-            flow.duplicates += 1
-            return False
-        flow._delivered_seqs.add(key)
+            # Broadcast dedup is per (receiver, packet), grouped by packet so
+            # retire() can drop a whole packet's entries once it leaves
+            # flight (bounding the table by the in-flight window).
+            receivers = flow._receivers_by_key.setdefault(key, set())
+            if receiver in receivers:
+                flow.duplicates += 1
+                return False
+            receivers.add(receiver)
+        else:
+            if key in flow._delivered_seqs:
+                flow.duplicates += 1
+                return False
+            flow._delivered_seqs.add(key)
         flow.delivered += 1
         flow.delays.append(max(0.0, now - packet.created_at))
         # ``hop_count`` is incremented by every *forwarder*; the originator's
@@ -183,6 +228,23 @@ class StatsCollector:
         # one more than the forward count.
         flow.hop_counts.append(packet.hop_count + 1)
         return True
+
+    def packet_retired(self, flow_id: int, key: Tuple) -> None:
+        """Release the broadcast dedup state of one packet identity.
+
+        Broadcast workloads call this once a packet can no longer be
+        received (e.g. the safety-beacon scope linger expired), so the
+        per-(receiver, packet) dedup table stays proportional to the
+        in-flight window rather than to every delivery of the run.
+        """
+        flow = self.flows.get(flow_id)
+        if flow is not None:
+            flow.retire(key)
+
+    @property
+    def dedup_entries(self) -> int:
+        """Dedup tuples currently held across all flows (memory diagnostic)."""
+        return sum(flow.dedup_entries for flow in self.flows.values())
 
     # ---------------------------------------------------------- transmissions
     def transmission(self, packet: Packet) -> None:

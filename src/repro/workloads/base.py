@@ -94,8 +94,13 @@ class Workload(ABC):
 
     @staticmethod
     def ideal_hops(built: "BuiltScenario", source: "Node", destination: "Node") -> float:
-        """Lower bound on hop count: straight-line distance over the radio range."""
-        range_m = built.scenario.radio.communication_range_m
+        """Lower bound on hop count: straight-line distance over the radio range.
+
+        The range is the *resolved* radio stack's nominal range
+        (``built.radio_range_m``), so the estimate tracks whichever channel
+        the run actually uses, not the legacy unit-disk shim.
+        """
+        range_m = built.radio_range_m
         distance = source.position.distance_to(destination.position)
         return max(1.0, math.ceil(distance / max(range_m, 1.0)))
 

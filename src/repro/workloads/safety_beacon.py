@@ -126,11 +126,14 @@ class SafetyBeaconWorkload(Workload):
         seq: int,
         expected: Dict[tuple, Set[int]],
     ) -> None:
+        # The reachability denominator uses the resolved stack's nominal
+        # range: under dsrc-urban-nlos (~137 m) or dsrc-highway-los (~946 m)
+        # the legacy 250 m shim value would systematically bias the ratio.
         reachable = {
             other.node_id
             for other in built.network.nodes_within(
                 node.position,
-                built.scenario.radio.communication_range_m,
+                built.radio_range_m,
                 exclude=node.node_id,
             )
             if other.kind is not NodeKind.RSU
@@ -150,6 +153,14 @@ class SafetyBeaconWorkload(Workload):
         built.stats.data_originated(packet, expected_receivers=len(reachable))
         node.send(packet, BROADCAST)
         built.sim.schedule(SCOPE_LINGER_S, expected.pop, (flow_id, seq), None)
+        # The stats collector's per-(receiver, packet) dedup entries are
+        # released on the same linger bound: once the frozen receiver set is
+        # gone no late reception can be counted, so holding the dedup any
+        # longer would only grow memory (millions of tuples in city-scale
+        # 10 Hz sweeps).
+        built.sim.schedule(
+            SCOPE_LINGER_S, built.stats.packet_retired, flow_id, packet.flow_key
+        )
 
     @staticmethod
     def _make_receiver(

@@ -139,6 +139,47 @@ class TestMatrix:
         (kept,) = build_matrix([base], ["P"], [1])
         assert kept.scenario.workload_params == {"interval_s": 0.1}
 
+    def test_radio_axis_expands_between_workload_and_seed(self):
+        cells = build_matrix(
+            [_tiny_scenario()],
+            ["P1"],
+            [1, 2],
+            workloads=["cbr", "safety-beacon"],
+            radios=["ideal-disk-250m", "dsrc-urban-nlos"],
+        )
+        assert len(cells) == 8
+        combos = [
+            (c.scenario.workload, c.scenario.radio_stack, c.scenario.seed) for c in cells
+        ]
+        assert combos[:4] == [
+            ("cbr", "ideal-disk-250m", 1),
+            ("cbr", "ideal-disk-250m", 2),
+            ("cbr", "dsrc-urban-nlos", 1),
+            ("cbr", "dsrc-urban-nlos", 2),
+        ]
+        assert combos[4][0] == "safety-beacon"
+
+    def test_duplicate_radios_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            build_matrix(
+                [_tiny_scenario()], ["P"], [1], radios=["nakagami", "nakagami"]
+            )
+
+    def test_radio_axis_resets_foreign_radio_params(self):
+        """Same reset logic as the workload axis: radio_params parameterise
+        the scenario's own stack, not the axis entries."""
+        base = _tiny_scenario().with_overrides(
+            radio_stack="nakagami", radio_params={"m": 1.0}
+        )
+        cells = build_matrix(
+            [base], ["P"], [1], radios=["ideal-disk-250m", "dsrc-highway-los"]
+        )
+        assert all(c.scenario.radio_params == {} for c in cells)
+        # Without the axis the scenario keeps its own stack and parameters.
+        (kept,) = build_matrix([base], ["P"], [1])
+        assert kept.scenario.radio_stack == "nakagami"
+        assert kept.scenario.radio_params == {"m": 1.0}
+
 
 class TestExecuteCells:
     def test_serial_execution_preserves_order(self):
@@ -293,6 +334,44 @@ class TestSweepReplications:
         for row in result.rows(["delivery_ratio"]):
             assert row["workload"] in ("cbr", "safety-beacon")
 
+    def test_radio_axis_aggregates_per_radio_cell(self):
+        result = sweep_replications(
+            [_tiny_scenario()],
+            ["Greedy"],
+            [1, 2],
+            radios=["ideal-disk-250m", "dsrc-congested"],
+        )
+        assert len(result.records) == 4
+        assert [(r.radio, r.seed) for r in result.records] == [
+            ("ideal-disk-250m", 1), ("ideal-disk-250m", 2),
+            ("dsrc-congested", 1), ("dsrc-congested", 2),
+        ]
+        assert [(r.radio, r.seeds) for r in result.replicated] == [
+            ("ideal-disk-250m", (1, 2)), ("dsrc-congested", (1, 2)),
+        ]
+        for row in result.rows(["delivery_ratio"]):
+            assert row["radio"] in ("ideal-disk-250m", "dsrc-congested")
+
+    def test_parallel_and_serial_radio_sweeps_are_byte_identical(self):
+        """The PR 2 equivalence guarantee extends to non-default radios: the
+        random channel models (shadowing, fading, probabilistic reception)
+        must draw only from per-run seeded streams, never from schedule- or
+        process-dependent state."""
+        scenarios = [_tiny_scenario()]
+        serial = sweep_replications(
+            scenarios, ["Greedy"], [1, 2], workers=1,
+            radios=["dsrc-urban-nlos", "nakagami"],
+        )
+        parallel = sweep_replications(
+            scenarios, ["Greedy"], [1, 2], workers=2,
+            radios=["dsrc-urban-nlos", "nakagami"],
+        )
+        strip = lambda record: dict(record.to_dict(), wall_clock_s=0.0)  # noqa: E731
+        assert list(map(strip, serial.records)) == list(map(strip, parallel.records))
+        assert [r.to_dict() for r in serial.replicated] == [
+            r.to_dict() for r in parallel.replicated
+        ]
+
     def test_parallel_and_serial_workload_sweeps_are_byte_identical(self):
         """The PR 2 equivalence guarantee extends to non-cbr workloads: the
         workload axis must not introduce schedule-dependent randomness."""
@@ -331,10 +410,10 @@ class TestPersistence:
         sweep_to_csv(path, self._sweep_result(), metric_names=["delivery_ratio"])
         header, row = path.read_text().strip().splitlines()
         assert header == (
-            "scenario,protocol,workload,replications,"
+            "scenario,protocol,workload,radio,replications,"
             "delivery_ratio_mean,delivery_ratio_ci95,delivery_ratio_n"
         )
-        assert row.startswith("s,P,cbr,2,0.5")
+        assert row.startswith("s,P,cbr,ideal-disk-250m,2,0.5")
 
     def test_rows_json_round_trip(self, tmp_path):
         rows = [{"vehicles": 100, "speedup": 5.9}, {"vehicles": 400, "speedup": 6.2}]

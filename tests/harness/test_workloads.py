@@ -314,6 +314,26 @@ class TestSafetyBeaconWorkload:
         assert all(flow.sent > 0 for flow in result.stats.flows.values())
         assert len(result.flow_details) < result.vehicle_count
 
+    def test_beacon_dedup_memory_stays_bounded(self):
+        """Memory regression (ROADMAP PR 4 follow-up): the stats collector
+        used to keep one (receiver, packet) dedup tuple per delivery for the
+        whole run.  Beacons past their scope linger must release their dedup
+        entries, so a long run holds a sliding window rather than every
+        delivery ever made."""
+        from repro.workloads.safety_beacon import SCOPE_LINGER_S
+
+        scenario = _small_scenario(
+            workload="safety-beacon",
+            duration_s=SCOPE_LINGER_S + 6.0,
+            max_vehicles=12,
+        )
+        result = ExperimentRunner().run(scenario, "Greedy")
+        delivered = result.stats.total_delivered
+        assert delivered > 0
+        # Everything delivered before (end - linger) has been retired; only
+        # the trailing window may still hold dedup state.
+        assert result.stats.dedup_entries < delivered
+
     def test_reachability_bounded_under_shadowing(self):
         """Shadowed channels occasionally deliver beyond the nominal range;
         such receptions must be consumed without counting, or the

@@ -210,3 +210,106 @@ class TestRemoveNodeTeardown:
         survivor_after = len(network.trace.records("tx", node_id=nodes[1].node_id))
         assert survivor_after > survivor_before
         assert not network.has_node(nodes[0].node_id)
+
+
+class TestRadioStackWiring:
+    """The medium accepts an assembled RadioStack and wires its components."""
+
+    def _stack(self):
+        from repro.radio.interference import NoInterference
+        from repro.radio.mac import MacConfig
+        from repro.radio.propagation import UnitDiskPropagation
+        from repro.radio.reception import SnrThresholdReception
+        from repro.radio.stack import RadioStack
+
+        return RadioStack(
+            name="custom",
+            propagation=UnitDiskPropagation(100.0),
+            reception=SnrThresholdReception(noise_floor_dbm=-90.0),
+            interference=NoInterference(),
+            mac=MacConfig(cw_min=3),
+            tx_power_dbm=17.0,
+        )
+
+    def test_stack_components_are_used(self):
+        from repro.geometry import Vec2
+        from repro.sim.engine import Simulator
+        from repro.sim.medium import WirelessMedium
+        from repro.sim.node import Node, StaticPositionProvider
+
+        stack = self._stack()
+        medium = WirelessMedium(Simulator(seed=1), stack=stack)
+        assert medium.stack is stack
+        assert medium.propagation is stack.propagation
+        assert medium.reception is stack.reception
+        assert medium.interference is stack.interference
+        assert medium.mac_config is stack.mac
+        node = Node(1, StaticPositionProvider(Vec2(0.0, 0.0)))
+        medium.register(node)
+        # The stack's MAC parameters reach every node's MAC instance.
+        assert node.mac.config is stack.mac
+
+    def test_explicit_arguments_override_stack_components(self):
+        from repro.radio.propagation import UnitDiskPropagation
+        from repro.sim.engine import Simulator
+        from repro.sim.medium import WirelessMedium
+
+        override = UnitDiskPropagation(400.0)
+        original = self._stack()
+        original_propagation = original.propagation
+        medium = WirelessMedium(Simulator(seed=1), stack=original, propagation=override)
+        assert medium.propagation is override
+        # The other components still come from the stack.
+        assert medium.interference is medium.stack.interference
+        # The caller's stack object is not mutated by the override: it may
+        # be shared with reporting or a later medium.
+        assert original.propagation is original_propagation
+
+    def test_default_medium_builds_the_classic_stack(self):
+        from repro.radio.interference import AdditiveInterference
+        from repro.radio.propagation import UnitDiskPropagation
+        from repro.radio.reception import SnrThresholdReception
+        from repro.sim.engine import Simulator
+        from repro.sim.medium import WirelessMedium
+
+        medium = WirelessMedium(Simulator(seed=1))
+        assert isinstance(medium.propagation, UnitDiskPropagation)
+        assert isinstance(medium.reception, SnrThresholdReception)
+        assert isinstance(medium.interference, AdditiveInterference)
+
+    def test_no_interference_stack_never_collides(self):
+        """A hidden-terminal collision under the additive model must vanish
+        under NoInterference (same seed, same schedule -- only the
+        interference model differs)."""
+        from repro.radio.interference import AdditiveInterference, NoInterference
+        from repro.radio.stack import RadioStack
+        from repro.geometry import Vec2
+        from repro.sim.engine import Simulator
+        from repro.sim.medium import WirelessMedium
+        from repro.sim.network import Network
+        from repro.sim.node import StaticPositionProvider
+        from repro.sim.packet import make_control_packet
+        from repro.sim.statistics import StatsCollector
+
+        def hidden_terminal(interference):
+            sim = Simulator(seed=9)
+            stats = StatsCollector()
+            medium = WirelessMedium(
+                sim, stack=RadioStack(interference=interference), stats=stats
+            )
+            network = Network(sim, medium=medium, stats=stats)
+            # Two senders 400 m apart cannot carrier-sense each other (250 m
+            # disk); the victim in the middle hears both simultaneously.
+            left = network.add_vehicle(StaticPositionProvider(Vec2(0.0, 0.0)))
+            network.add_vehicle(StaticPositionProvider(Vec2(200.0, 0.0)))
+            right = network.add_vehicle(StaticPositionProvider(Vec2(400.0, 0.0)))
+            for sender in (left, right):
+                packet = make_control_packet(
+                    "storm", "HELLO", sender.node_id, BROADCAST, size_bytes=1500
+                )
+                sim.schedule_at(1.0, sender.send, packet, BROADCAST)
+            sim.run(until=3.0)
+            return stats.mac_collisions
+
+        assert hidden_terminal(AdditiveInterference()) > 0
+        assert hidden_terminal(NoInterference()) == 0

@@ -129,6 +129,61 @@ class TestBroadcastFlowAccounting:
         assert stats.delivery_ratio == pytest.approx(0.4)
 
 
+class TestBroadcastDedupMemory:
+    def test_retire_bounds_the_dedup_table(self, stats):
+        """Memory regression: broadcast dedup used to keep one
+        (receiver, packet) tuple per delivery for the whole run -- millions
+        in city-scale 10 Hz beacon sweeps.  Retiring packets as they leave
+        flight must bound the table by the in-flight window while the
+        delivered count keeps growing."""
+        from repro.sim.packet import BROADCAST
+
+        stats.register_flow(1, 10, BROADCAST, mode="broadcast")
+        receivers, window = 50, 5
+        in_flight = []
+        for seq in range(1, 201):
+            packet = make_data_packet("app", 10, BROADCAST, flow_id=1, seq=seq)
+            stats.data_originated(packet, expected_receivers=receivers)
+            for receiver in range(100, 100 + receivers):
+                stats.data_delivered(packet.copy(), 1.0, receiver=receiver)
+            in_flight.append(packet.flow_key)
+            if len(in_flight) > window:
+                stats.packet_retired(1, in_flight.pop(0))
+        flow = stats.flows[1]
+        assert flow.delivered == 200 * receivers
+        assert flow.duplicates == 0
+        # Bounded by the sliding window, not by the 10 000 total deliveries.
+        assert stats.dedup_entries <= window * receivers
+
+    def test_duplicates_still_detected_before_retire(self, stats):
+        from repro.sim.packet import BROADCAST
+
+        stats.register_flow(1, 10, BROADCAST, mode="broadcast")
+        packet = make_data_packet("app", 10, BROADCAST, flow_id=1, seq=1)
+        stats.data_originated(packet, expected_receivers=2)
+        assert stats.data_delivered(packet, 1.0, receiver=20) is True
+        assert stats.data_delivered(packet.copy(), 1.1, receiver=20) is False
+        stats.packet_retired(1, packet.flow_key)
+        assert stats.dedup_entries == 0
+        assert stats.flows[1].delivered == 1
+        assert stats.flows[1].duplicates == 1
+
+    def test_retiring_unknown_flow_or_key_is_a_noop(self, stats):
+        stats.packet_retired(99, (1, 99, 1))
+        stats.register_flow(1, 10, -1, mode="broadcast")
+        stats.packet_retired(1, (10, 1, 77))  # never delivered
+        assert stats.dedup_entries == 0
+
+    def test_unicast_dedup_is_untouched_by_retire(self, stats):
+        packet = make_data_packet("p", 1, 2, flow_id=1, seq=1)
+        stats.data_originated(packet)
+        stats.data_delivered(packet, 1.0, receiver=2)
+        stats.packet_retired(1, packet.flow_key)
+        # Unicast keys feed the path-stretch metric and stay for the run.
+        assert stats.flows[1].delivered_keys == {packet.flow_key}
+        assert stats.data_delivered(packet.copy(), 2.0, receiver=2) is False
+
+
 class TestOverheadAccounting:
     def test_control_and_data_transmissions_separated(self, stats):
         stats.transmission(make_control_packet("p", "RREQ", 1, size_bytes=50))

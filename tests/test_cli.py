@@ -130,6 +130,68 @@ class TestParser:
         )
         assert args.workload == ["cbr", "safety-beacon"]
 
+    def test_run_radio_flag_lands_on_the_scenario(self):
+        from repro.cli import _build_scenario
+
+        args = build_parser().parse_args(["run", "Greedy", "--radio", "dsrc-urban-nlos"])
+        assert _build_scenario(args).radio_stack == "dsrc-urban-nlos"
+        # Without the flag the scenario keeps the shim default (resolved to
+        # ideal-disk-250m by the runner).
+        args = build_parser().parse_args(["run", "Greedy"])
+        assert _build_scenario(args).radio_stack is None
+
+    def test_scalar_overrides_reset_stale_params(self):
+        """Regression: overriding --radio/--workload on a scenario that
+        carries its own radio_params/workload_params must reset them -- the
+        parameters belong to the scenario's own kind and would be passed as
+        unknown constructor keywords to the named one (raw TypeError in the
+        runner instead of a usage error)."""
+        from repro.cli import _build_scenario
+        from repro.harness.scenarios import register_preset, unregister_preset
+        from repro.harness.scenario import Scenario
+
+        register_preset(
+            "test-nakagami-city",
+            lambda: Scenario(
+                name="test-nakagami-city",
+                kind="highway",
+                radio_stack="nakagami",
+                radio_params={"m": 1.0},
+                workload="safety-beacon",
+                workload_params={"interval_s": 0.1},
+            ),
+            "test preset with parameterised radio and workload",
+        )
+        try:
+            args = build_parser().parse_args(
+                ["run", "Greedy", "--scenario", "test-nakagami-city",
+                 "--radio", "ideal-disk-250m", "--workload", "cbr"]
+            )
+            scenario = _build_scenario(args)
+            assert scenario.radio_stack == "ideal-disk-250m"
+            assert scenario.radio_params == {}
+            assert scenario.workload == "cbr"
+            assert scenario.workload_params == {}
+            # Without the overrides the preset keeps its own parameters.
+            args = build_parser().parse_args(
+                ["run", "Greedy", "--scenario", "test-nakagami-city"]
+            )
+            kept = _build_scenario(args)
+            assert kept.radio_params == {"m": 1.0}
+            assert kept.workload_params == {"interval_s": 0.1}
+        finally:
+            unregister_preset("test-nakagami-city")
+
+    def test_sweep_radio_flag_accepts_a_matrix_axis(self):
+        args = build_parser().parse_args(
+            ["sweep", "Greedy", "--radio", "ideal-disk-250m", "dsrc-urban-nlos"]
+        )
+        assert args.radio == ["ideal-disk-250m", "dsrc-urban-nlos"]
+
+    def test_list_radios_subcommand_parses(self):
+        args = build_parser().parse_args(["list-radios"])
+        assert args.command == "list-radios"
+
     def test_cli_and_scenario_flow_count_defaults_agree(self):
         """Regression: the CLI hardcoded 5 while Scenario defaulted to 6."""
         from repro.cli import _build_scenario
@@ -300,6 +362,90 @@ class TestCommands:
         assert len(loaded.records) == 4  # 1 protocol x 2 workloads x 2 seeds
         assert {r.workload for r in loaded.records} == {"cbr", "safety-beacon"}
         assert {r.workload for r in loaded.replicated} == {"cbr", "safety-beacon"}
+
+    def test_list_radios_lists_kinds_and_presets(self, capsys):
+        assert main(["list-radios"]) == 0
+        output = capsys.readouterr().out
+        for kind in ("unit_disk", "two_ray", "shadowing", "nakagami"):
+            assert kind in output
+        for preset in ("ideal-disk-250m", "dsrc-highway-los", "dsrc-urban-nlos", "dsrc-congested"):
+            assert preset in output
+
+    def test_run_unknown_radio_fails_cleanly(self, capsys):
+        assert main(["run", "Greedy", "--radio", "warp-drive"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown radio" in err
+        assert "dsrc-urban-nlos" in err
+
+    def test_sweep_unknown_radio_fails_cleanly(self, capsys):
+        assert main(["sweep", "Greedy", "--radio", "ideal-disk-250m", "nope"]) == 2
+        assert "unknown radio" in capsys.readouterr().err
+
+    def test_run_with_radio_preset(self, capsys):
+        code = main(
+            [
+                "run",
+                "Greedy",
+                "--radio", "dsrc-congested",
+                "--duration", "6",
+                "--max-vehicles", "15",
+                "--flows", "2",
+                "--packets-per-flow", "3",
+                "--density", "sparse",
+            ]
+        )
+        assert code == 0
+        assert "delivery_ratio" in capsys.readouterr().out
+
+    def test_compare_with_radio_preset(self, capsys):
+        code = main(
+            [
+                "compare",
+                "Flooding",
+                "Greedy",
+                "--radio", "dsrc-highway-los",
+                "--duration", "6",
+                "--max-vehicles", "15",
+                "--flows", "2",
+                "--packets-per-flow", "3",
+                "--density", "sparse",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Flooding" in output and "Greedy" in output
+
+    def test_sweep_radio_axis_produces_per_radio_cells(self, capsys, tmp_path):
+        json_path = tmp_path / "radio-sweep.json"
+        csv_path = tmp_path / "radio-sweep.csv"
+        code = main(
+            [
+                "sweep",
+                "Greedy",
+                "--radio", "ideal-disk-250m", "dsrc-urban-nlos",
+                "--seeds", "1", "2",
+                "--duration", "6",
+                "--max-vehicles", "15",
+                "--flows", "2",
+                "--packets-per-flow", "3",
+                "--density", "sparse",
+                "--csv", str(csv_path),
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "radio" in output
+        assert "dsrc-urban-nlos" in output
+        # The radio column lands in the CSV artifact as well.
+        header = csv_path.read_text().splitlines()[0]
+        assert "radio" in header.split(",")
+        from repro.harness.reporting import sweep_from_json
+
+        loaded = sweep_from_json(json_path)
+        assert len(loaded.records) == 4  # 1 protocol x 2 radios x 2 seeds
+        assert {r.radio for r in loaded.records} == {"ideal-disk-250m", "dsrc-urban-nlos"}
+        assert {r.radio for r in loaded.replicated} == {"ideal-disk-250m", "dsrc-urban-nlos"}
 
     def test_run_city_preset(self, capsys):
         code = main(
