@@ -1,10 +1,33 @@
-"""Setuptools shim.
+"""Package metadata and dependency declaration.
 
-The metadata lives in ``pyproject.toml``; this file exists so the package can
-be installed in environments without the ``wheel`` package (legacy editable
-installs via ``pip install -e . --no-use-pep517`` or ``python setup.py develop``).
+``numpy`` powers the vectorized spatial backend of the wireless medium
+(``spatial_backend="vectorized"``); the scalar ``grid``/``linear`` backends
+run without it, but it is cheap and the struct-of-arrays fast path is the
+recommended configuration at scale, so it is a hard dependency of the
+installed package.  The import-time gate for environments that run from a
+bare checkout without numpy lives in
+:func:`repro.sim.position_store.require_numpy`.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-vanet",
+    version="0.6.0",
+    description=(
+        "Discrete-event VANET routing testbed reproducing the taxonomy and "
+        "experiments of Yan, Mitton & Li (ICDCS Workshops 2010)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "networkx",
+        "numpy",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro-vanet = repro.cli:main",
+        ],
+    },
+)

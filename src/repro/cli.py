@@ -57,6 +57,7 @@ from repro.radio.registry import (
     radio_preset_rows,
     radio_rows,
 )
+from repro.sim.spatial import SPATIAL_BACKENDS
 from repro.workloads import (
     available_workload_presets,
     available_workloads,
@@ -120,6 +121,9 @@ def _build_scenario(args: argparse.Namespace) -> Scenario:
     if isinstance(radio, str):
         explicit["radio_stack"] = radio
         explicit["radio_params"] = {}
+    backend = getattr(args, "spatial_backend", None)
+    if isinstance(backend, str):
+        explicit["spatial_backend"] = backend
 
     spec = getattr(args, "scenario", None)
     if spec and spec not in available_scenario_kinds():
@@ -192,6 +196,12 @@ def _add_scenario_arguments(
             help="radio kinds/presets swept as a matrix axis "
                  "(default: the scenario's own, ideal-disk-250m; see 'list-radios')",
         )
+        parser.add_argument(
+            "--spatial-backend", choices=SPATIAL_BACKENDS, nargs="+",
+            default=None, metavar="NAME",
+            help="medium spatial backends swept as a matrix axis "
+                 f"(default: the scenario's own, grid; one of {', '.join(SPATIAL_BACKENDS)})",
+        )
     else:
         parser.add_argument(
             "--workload", type=str, default=None, metavar="NAME",
@@ -201,6 +211,10 @@ def _add_scenario_arguments(
             "--radio", type=str, default=None, metavar="NAME",
             help="radio stack kind or preset "
                  "(default: ideal-disk-250m; see 'list-radios')",
+        )
+        parser.add_argument(
+            "--spatial-backend", choices=SPATIAL_BACKENDS, default=None,
+            help="medium spatial backend (default: grid; 'vectorized' needs numpy)",
         )
     parser.add_argument(
         "--flows", type=int, default=None,
@@ -349,6 +363,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             return 2
     elif scenario.radio_stack and not _check_radios([scenario.radio_stack]):
         return 2
+    spatial_backends = args.spatial_backend if args.spatial_backend else None
     try:
         result = sweep_replications(
             [scenario],
@@ -357,6 +372,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             workers=args.workers,
             workloads=workloads,
             radios=radios,
+            spatial_backends=spatial_backends,
         )
     except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
@@ -366,6 +382,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         f"Sweep on {scenario.name}: {len(args.protocols)} protocol(s) x "
         f"{len(workloads) if workloads else 1} workload(s) x "
         f"{len(radios) if radios else 1} radio(s) x "
+        f"{len(spatial_backends) if spatial_backends else 1} backend(s) x "
         f"{len(args.seeds)} seed(s), workers={args.workers}"
     )
     print(format_table(rows, title=title))

@@ -50,16 +50,27 @@ class Vec2:
         return self.x * other.y - self.y * other.x
 
     def norm(self) -> float:
-        """Euclidean length."""
-        return math.hypot(self.x, self.y)
+        """Euclidean length.
+
+        Computed as ``sqrt(x*x + y*y)`` rather than ``math.hypot``: IEEE-754
+        multiply, add and sqrt are all correctly rounded, so this expression
+        produces bit-identical results whether evaluated here or as a numpy
+        array expression -- which is what lets the vectorized medium backend
+        reproduce the scalar backends' event traces byte for byte.  Positions
+        and ranges are metres (magnitudes ~1e0..1e4), so the overflow/underflow
+        protection ``hypot`` adds is irrelevant here.
+        """
+        return math.sqrt(self.x * self.x + self.y * self.y)
 
     def norm_sq(self) -> float:
         """Squared Euclidean length (avoids a sqrt in hot loops)."""
         return self.x * self.x + self.y * self.y
 
     def distance_to(self, other: "Vec2") -> float:
-        """Euclidean distance to ``other``."""
-        return math.hypot(self.x - other.x, self.y - other.y)
+        """Euclidean distance to ``other`` (see :meth:`norm` for the form)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return math.sqrt(dx * dx + dy * dy)
 
     def normalized(self) -> "Vec2":
         """Unit vector with the same direction.

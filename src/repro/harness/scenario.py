@@ -139,8 +139,11 @@ class Scenario:
             flows (other workloads borrow its timing defaults).
         mobility_step_s: Mobility update interval.
         spatial_backend: Neighbour-lookup backend of the wireless medium:
-            ``"grid"`` (uniform-grid index, the default) or ``"linear"``
-            (exhaustive oracle scan, exact but O(N) per frame).
+            ``"grid"`` (uniform-grid index, the default), ``"linear"``
+            (exhaustive oracle scan, exact but O(N) per frame) or
+            ``"vectorized"`` (grid index plus a struct-of-arrays position
+            store evaluating per-frame physics as numpy array expressions;
+            byte-identical traces to the other two, requires numpy).
     """
 
     name: str = "scenario"

@@ -78,17 +78,24 @@ def build_matrix(
     protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
     workloads: Optional[Sequence[str]] = None,
     radios: Optional[Sequence[str]] = None,
+    spatial_backends: Optional[Sequence[str]] = None,
 ) -> List[SweepCell]:
     """Expand scenarios x protocols x workloads x radios x seeds into cells.
 
     The matrix order is deterministic (scenario-major, then protocol, then
-    workload, then radio, then seed), which fixes both the execution
-    schedule and the ordering of every downstream report.  ``workloads`` is
-    an optional sweep axis of workload kind/preset names; when omitted every
-    cell keeps the scenario's own ``workload`` (``"cbr"`` by default).
-    ``radios`` is the optional radio axis (radio kind/preset names resolved
-    through :mod:`repro.radio.registry`); when omitted every cell keeps the
-    scenario's own radio stack (``ideal-disk-250m`` by default).
+    workload, then radio, then spatial backend, then seed), which fixes both
+    the execution schedule and the ordering of every downstream report.
+    ``workloads`` is an optional sweep axis of workload kind/preset names;
+    when omitted every cell keeps the scenario's own ``workload`` (``"cbr"``
+    by default).  ``radios`` is the optional radio axis (radio kind/preset
+    names resolved through :mod:`repro.radio.registry`); when omitted every
+    cell keeps the scenario's own radio stack (``ideal-disk-250m`` by
+    default).  ``spatial_backends`` is the optional medium-backend axis
+    (names from :data:`repro.sim.spatial.SPATIAL_BACKENDS`); backends are
+    varied through the scenario *name* (``<name>-<backend>``) because the
+    aggregation key is (scenario name, protocol, workload, radio) and the
+    backends' byte-identical metrics would otherwise be merged into a single
+    cell with duplicated seeds.
     """
     if not seeds:
         raise ValueError("at least one replication seed is required")
@@ -102,6 +109,9 @@ def build_matrix(
     if radios is not None and len(set(radios)) != len(radios):
         # Same reasoning as seeds: a repeated radio duplicates cells.
         raise ValueError("sweep radios must be unique")
+    if spatial_backends is not None and len(set(spatial_backends)) != len(spatial_backends):
+        # Same reasoning as seeds: a repeated backend duplicates cells.
+        raise ValueError("sweep spatial backends must be unique")
     names = [scenario.name for scenario in scenarios]
     duplicates = sorted({name for name in names if names.count(name) > 1})
     if duplicates:
@@ -133,6 +143,17 @@ def build_matrix(
                 varied.with_overrides(radio_stack=radio, radio_params={})
                 for varied in varied_scenarios
                 for radio in radios
+            ]
+        if spatial_backends is not None:
+            # Backends ride on the scenario name (the way sweep_densities
+            # varies densities) so identical-by-construction metrics still
+            # land in distinct aggregation cells.
+            varied_scenarios = [
+                varied.with_overrides(
+                    spatial_backend=backend, name=f"{varied.name}-{backend}"
+                )
+                for varied in varied_scenarios
+                for backend in spatial_backends
             ]
         for protocol in protocol_names:
             for varied in varied_scenarios:
@@ -373,6 +394,7 @@ def sweep_replications(
     protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
     workloads: Optional[Sequence[str]] = None,
     radios: Optional[Sequence[str]] = None,
+    spatial_backends: Optional[Sequence[str]] = None,
 ) -> SweepResult:
     """Run the scenario x protocol x workload x radio x seed matrix.
 
@@ -380,11 +402,18 @@ def sweep_replications(
     out over a process pool.  Both schedules produce identical
     :class:`SweepResult` contents because every cell is seeded explicitly and
     results are re-assembled in matrix order.  ``workloads`` adds the
-    workload axis and ``radios`` the radio axis; omitted, every cell keeps
-    the scenario's own workload / radio stack.
+    workload axis, ``radios`` the radio axis and ``spatial_backends`` the
+    medium-backend axis; omitted, every cell keeps the scenario's own
+    workload / radio stack / spatial backend.
     """
     cells = build_matrix(
-        scenarios, protocol_names, seeds, protocol_configs, workloads, radios
+        scenarios,
+        protocol_names,
+        seeds,
+        protocol_configs,
+        workloads,
+        radios,
+        spatial_backends,
     )
     records = execute_cells(cells, run_cell, workers=workers)
     return SweepResult(records=records, replicated=aggregate_records(records))

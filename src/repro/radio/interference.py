@@ -45,6 +45,44 @@ def combine_dbm(powers_dbm: Iterable[float]) -> float:
     return mw_to_dbm(total_mw)
 
 
+def dbm_to_mw_batch(powers_dbm):
+    """Elementwise :func:`dbm_to_mw` over a numpy array.
+
+    The vectorized medium backend needs its interference sums bit-identical
+    to the scalar backends', which rules out ``np.power``: its SIMD path
+    differs from libm ``pow`` (what ``10.0 ** x`` calls) in the last ulp on
+    this class of input.  ``np.float_power`` evaluates libm ``pow`` per
+    element, so it reproduces the scalar conversion bit for bit at array
+    speed (guarded by the batch-equality property suite).
+    """
+    from repro.sim.position_store import require_numpy
+
+    np = require_numpy("dbm_to_mw_batch")
+    arr = np.asarray(powers_dbm, dtype=np.float64)
+    return np.where(
+        arr <= NO_SIGNAL_DBM, 0.0, np.float_power(10.0, arr / 10.0)
+    )
+
+
+def mw_to_dbm_batch(powers_mw):
+    """Elementwise :func:`mw_to_dbm` over a numpy array.
+
+    ``np.log10`` takes a SIMD path whose last ulp differs from libm
+    ``math.log10``, so this stays a per-element loop for bit-identity with
+    the scalar conversion -- but over a plain list (``tolist`` + listcomp),
+    which is several times cheaper than iterating numpy scalars.
+    """
+    from repro.sim.position_store import require_numpy
+
+    np = require_numpy("mw_to_dbm_batch")
+    arr = np.asarray(powers_mw, dtype=np.float64)
+    log10 = math.log10
+    return np.array(
+        [NO_SIGNAL_DBM if m <= 0.0 else 10.0 * log10(m) for m in arr.tolist()],
+        dtype=np.float64,
+    )
+
+
 class InterferenceModel(ABC):
     """How the powers of concurrent transmissions combine at a receiver.
 
@@ -59,6 +97,13 @@ class InterferenceModel(ABC):
     #: that loop is one of the per-frame hot paths.
     uses_contributions: bool = True
 
+    #: Whether :meth:`combine` is exactly "sum the contributions in mW".
+    #: The vectorized medium backend relies on this to accumulate
+    #: per-interferer power arrays instead of per-receiver lists; models with
+    #: any other combination rule leave it False and fall back to the scalar
+    #: delivery path.
+    additive_mw: bool = False
+
     @abstractmethod
     def combine(self, powers_dbm: Sequence[float]) -> float:
         """Aggregate interference power in dBm (``NO_SIGNAL_DBM`` for none)."""
@@ -66,6 +111,8 @@ class InterferenceModel(ABC):
 
 class AdditiveInterference(InterferenceModel):
     """Physically additive co-channel interference (the default)."""
+
+    additive_mw = True
 
     def combine(self, powers_dbm: Sequence[float]) -> float:
         """Linear-domain power sum (see :func:`combine_dbm`)."""

@@ -38,12 +38,65 @@ SPEED_OF_LIGHT = 299_792_458.0
 DEFAULT_FREQUENCY_HZ = 5.9e9
 
 
+def _log10_elementwise(values):
+    """Elementwise ``math.log10`` over a numpy array.
+
+    ``np.log10`` and libm ``log10`` disagree in the last ulp for a few percent
+    of inputs; the vectorized medium backend needs received powers bit-identical
+    to the scalar path, so log-based models take the libm value per element.
+    The surrounding arithmetic (multiply, divide, subtract, compare) is
+    correctly rounded in IEEE-754 and therefore safe to vectorize.
+    """
+    from repro.sim.position_store import require_numpy
+
+    np = require_numpy("_log10_elementwise")
+    return np.fromiter(
+        (math.log10(v) for v in values), dtype=np.float64, count=len(values)
+    )
+
+
 class PropagationModel(ABC):
     """Base class for propagation models."""
+
+    #: True when :meth:`rx_power_dbm` is a pure function of distance (no RNG
+    #: draws).  The vectorized medium backend only takes its array fast path
+    #: for deterministic models; stochastic ones keep the scalar per-receiver
+    #: loop so the ``"radio"`` stream is consumed in exactly the same order
+    #: as the scalar backends.
+    deterministic: bool = False
 
     @abstractmethod
     def rx_power_dbm(self, tx_power_dbm: float, tx_pos: Vec2, rx_pos: Vec2) -> float:
         """Received power in dBm for a transmission from ``tx_pos`` to ``rx_pos``."""
+
+    def rx_power_dbm_from_distance(self, tx_power_dbm: float, distance: float) -> float:
+        """Scalar distance-form of :meth:`rx_power_dbm`.
+
+        Every bundled model's received power depends on geometry only through
+        the transmitter-receiver distance; this entry point lets callers that
+        already computed the distance (the vectorized medium backend) skip
+        rebuilding positions.  The default synthesizes positions ``distance``
+        apart; subclasses override it with the direct formula.
+        """
+        return self.rx_power_dbm(tx_power_dbm, Vec2(0.0, 0.0), Vec2(distance, 0.0))
+
+    def rx_power_dbm_batch(self, tx_power_dbm: float, distances):
+        """Received powers (float64 array) for a float64 array of distances.
+
+        The base implementation loops :meth:`rx_power_dbm_from_distance` per
+        element, which is exact for every model -- including stochastic ones,
+        whose RNG draws then happen in element order, matching a scalar loop
+        over the same distances.  Deterministic subclasses override this with
+        true array expressions.
+        """
+        from repro.sim.position_store import require_numpy
+
+        np = require_numpy("rx_power_dbm_batch")
+        return np.fromiter(
+            (self.rx_power_dbm_from_distance(tx_power_dbm, float(d)) for d in distances),
+            dtype=np.float64,
+            count=len(distances),
+        )
 
     def nominal_range(self, tx_power_dbm: float, sensitivity_dbm: float) -> float:
         """Distance at which the *mean* received power equals the sensitivity.
@@ -81,6 +134,8 @@ class UnitDiskPropagation(PropagationModel):
     the paper's Eqn. 4 (``d_t = r * I(i, j)`` at link breakage).
     """
 
+    deterministic = True
+
     def __init__(self, communication_range: float = 250.0) -> None:
         if communication_range <= 0:
             raise ValueError("communication range must be positive")
@@ -91,6 +146,23 @@ class UnitDiskPropagation(PropagationModel):
         if tx_pos.distance_to(rx_pos) <= self.communication_range:
             return tx_power_dbm
         return NO_SIGNAL_DBM
+
+    def rx_power_dbm_from_distance(self, tx_power_dbm: float, distance: float) -> float:
+        """Transmit power inside the disk, no signal outside."""
+        if distance <= self.communication_range:
+            return tx_power_dbm
+        return NO_SIGNAL_DBM
+
+    def rx_power_dbm_batch(self, tx_power_dbm: float, distances):
+        """Vectorized disk test (a pure comparison, trivially bit-exact)."""
+        from repro.sim.position_store import require_numpy
+
+        np = require_numpy("rx_power_dbm_batch")
+        return np.where(
+            np.asarray(distances, dtype=np.float64) <= self.communication_range,
+            float(tx_power_dbm),
+            NO_SIGNAL_DBM,
+        )
 
     def mean_rx_power_dbm(self, tx_power_dbm: float, distance: float) -> float:
         """Transmit power inside the disk, no signal outside."""
@@ -106,6 +178,8 @@ class UnitDiskPropagation(PropagationModel):
 class FreeSpacePropagation(PropagationModel):
     """Friis free-space path loss."""
 
+    deterministic = True
+
     def __init__(self, frequency_hz: float = DEFAULT_FREQUENCY_HZ) -> None:
         if frequency_hz <= 0:
             raise ValueError("frequency must be positive")
@@ -117,9 +191,25 @@ class FreeSpacePropagation(PropagationModel):
         distance = max(distance, 1.0)
         return 20.0 * math.log10(4.0 * math.pi * distance / self.wavelength)
 
+    def path_loss_db_batch(self, distances):
+        """Elementwise :meth:`path_loss_db` (bit-identical; see module notes)."""
+        from repro.sim.position_store import require_numpy
+
+        np = require_numpy("path_loss_db_batch")
+        clamped = np.maximum(np.asarray(distances, dtype=np.float64), 1.0)
+        return 20.0 * _log10_elementwise(4.0 * math.pi * clamped / self.wavelength)
+
     def rx_power_dbm(self, tx_power_dbm: float, tx_pos: Vec2, rx_pos: Vec2) -> float:
         """Transmit power minus Friis path loss."""
         return tx_power_dbm - self.path_loss_db(tx_pos.distance_to(rx_pos))
+
+    def rx_power_dbm_from_distance(self, tx_power_dbm: float, distance: float) -> float:
+        """Transmit power minus Friis path loss."""
+        return tx_power_dbm - self.path_loss_db(distance)
+
+    def rx_power_dbm_batch(self, tx_power_dbm: float, distances):
+        """Transmit power minus Friis path loss, elementwise."""
+        return tx_power_dbm - self.path_loss_db_batch(distances)
 
     def mean_rx_power_dbm(self, tx_power_dbm: float, distance: float) -> float:
         """Transmit power minus Friis path loss."""
@@ -133,6 +223,8 @@ class TwoRayGroundPropagation(PropagationModel):
     the received power falls off with the fourth power of distance, which is
     the standard approximation for vehicle-to-vehicle links.
     """
+
+    deterministic = True
 
     def __init__(
         self,
@@ -156,9 +248,32 @@ class TwoRayGroundPropagation(PropagationModel):
         # Pr = Pt * (h_t^2 h_r^2) / d^4  ->  loss = 40 log10(d) - 20 log10(h_t h_r)
         return 40.0 * math.log10(distance) - 20.0 * math.log10(h * h)
 
+    def path_loss_db_batch(self, distances):
+        """Elementwise :meth:`path_loss_db` (bit-identical; see module notes)."""
+        from repro.sim.position_store import require_numpy
+
+        np = require_numpy("path_loss_db_batch")
+        clamped = np.maximum(np.asarray(distances, dtype=np.float64), 1.0)
+        loss = np.empty(len(clamped))
+        near = clamped <= self.crossover_distance
+        loss[near] = self.free_space.path_loss_db_batch(clamped[near])
+        far = ~near
+        if far.any():
+            h = self.antenna_height_m
+            loss[far] = 40.0 * _log10_elementwise(clamped[far]) - 20.0 * math.log10(h * h)
+        return loss
+
     def rx_power_dbm(self, tx_power_dbm: float, tx_pos: Vec2, rx_pos: Vec2) -> float:
         """Transmit power minus two-ray path loss."""
         return tx_power_dbm - self.path_loss_db(tx_pos.distance_to(rx_pos))
+
+    def rx_power_dbm_from_distance(self, tx_power_dbm: float, distance: float) -> float:
+        """Transmit power minus two-ray path loss."""
+        return tx_power_dbm - self.path_loss_db(distance)
+
+    def rx_power_dbm_batch(self, tx_power_dbm: float, distances):
+        """Transmit power minus two-ray path loss, elementwise."""
+        return tx_power_dbm - self.path_loss_db_batch(distances)
 
     def mean_rx_power_dbm(self, tx_power_dbm: float, distance: float) -> float:
         """Transmit power minus two-ray path loss."""
@@ -192,6 +307,11 @@ class LogNormalShadowing(PropagationModel):
         self.reference_loss_db = self._free_space.path_loss_db(reference_distance)
         self._rng = rng if rng is not None else random.Random(0)
 
+    @property
+    def deterministic(self) -> bool:
+        """Pure path loss when the shadowing component is disabled."""
+        return self.sigma_db == 0
+
     def mean_path_loss_db(self, distance: float) -> float:
         """Mean (non-shadowed) path loss at ``distance`` metres."""
         distance = max(distance, self.reference_distance)
@@ -199,11 +319,34 @@ class LogNormalShadowing(PropagationModel):
             distance / self.reference_distance
         )
 
+    def mean_path_loss_db_batch(self, distances):
+        """Elementwise :meth:`mean_path_loss_db` (bit-identical)."""
+        from repro.sim.position_store import require_numpy
+
+        np = require_numpy("mean_path_loss_db_batch")
+        clamped = np.maximum(
+            np.asarray(distances, dtype=np.float64), self.reference_distance
+        )
+        return self.reference_loss_db + 10.0 * self.path_loss_exponent * _log10_elementwise(
+            clamped / self.reference_distance
+        )
+
     def rx_power_dbm(self, tx_power_dbm: float, tx_pos: Vec2, rx_pos: Vec2) -> float:
         """Transmit power minus mean path loss minus a Gaussian shadowing draw."""
         distance = tx_pos.distance_to(rx_pos)
         shadowing = self._rng.gauss(0.0, self.sigma_db) if self.sigma_db > 0 else 0.0
         return tx_power_dbm - self.mean_path_loss_db(distance) - shadowing
+
+    def rx_power_dbm_from_distance(self, tx_power_dbm: float, distance: float) -> float:
+        """Transmit power minus mean path loss minus a Gaussian shadowing draw."""
+        shadowing = self._rng.gauss(0.0, self.sigma_db) if self.sigma_db > 0 else 0.0
+        return tx_power_dbm - self.mean_path_loss_db(distance) - shadowing
+
+    def rx_power_dbm_batch(self, tx_power_dbm: float, distances):
+        """Array powers: vectorized when deterministic, element-order draws else."""
+        if self.sigma_db > 0:
+            return PropagationModel.rx_power_dbm_batch(self, tx_power_dbm, distances)
+        return tx_power_dbm - self.mean_path_loss_db_batch(distances)
 
     def mean_rx_power_dbm(self, tx_power_dbm: float, distance: float) -> float:
         """Transmit power minus mean path loss (no shadowing draw)."""
@@ -262,6 +405,14 @@ class NakagamiFading(PropagationModel):
     def rx_power_dbm(self, tx_power_dbm: float, tx_pos: Vec2, rx_pos: Vec2) -> float:
         """A Gamma(m, mean/m) power draw around the mean received power."""
         mean_dbm = self.mean_model.rx_power_dbm(tx_power_dbm, tx_pos, rx_pos)
+        if mean_dbm <= NO_SIGNAL_DBM:
+            return NO_SIGNAL_DBM
+        mean_mw = dbm_to_mw(mean_dbm)
+        return mw_to_dbm(self._rng.gammavariate(self.m, mean_mw / self.m))
+
+    def rx_power_dbm_from_distance(self, tx_power_dbm: float, distance: float) -> float:
+        """A Gamma(m, mean/m) power draw around the mean received power."""
+        mean_dbm = self.mean_model.rx_power_dbm_from_distance(tx_power_dbm, distance)
         if mean_dbm <= NO_SIGNAL_DBM:
             return NO_SIGNAL_DBM
         mean_mw = dbm_to_mw(mean_dbm)

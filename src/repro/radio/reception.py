@@ -9,7 +9,14 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
-from repro.radio.interference import NO_SIGNAL_DBM, combine_dbm, dbm_to_mw, mw_to_dbm
+from repro.radio.interference import (
+    NO_SIGNAL_DBM,
+    combine_dbm,
+    dbm_to_mw,
+    dbm_to_mw_batch,
+    mw_to_dbm,
+    mw_to_dbm_batch,
+)
 
 #: Thermal noise floor for a 10 MHz DSRC channel plus a typical noise figure.
 DEFAULT_NOISE_FLOOR_DBM = -99.0
@@ -24,6 +31,19 @@ class ReceptionDecision(Enum):
     RECEIVED = "received"
     WEAK_SIGNAL = "weak_signal"
     COLLISION = "collision"
+
+
+#: Integer decision codes returned by :meth:`ReceptionModel.decide_batch`
+#: (kept as plain ints so decision arrays stay dense int8).
+BATCH_RECEIVED = 0
+BATCH_WEAK_SIGNAL = 1
+BATCH_COLLISION = 2
+
+_DECISION_CODES = {
+    ReceptionDecision.RECEIVED: BATCH_RECEIVED,
+    ReceptionDecision.WEAK_SIGNAL: BATCH_WEAK_SIGNAL,
+    ReceptionDecision.COLLISION: BATCH_COLLISION,
+}
 
 
 @dataclass
@@ -66,6 +86,27 @@ class ReceptionModel(ABC):
     ) -> ReceptionOutcome:
         """Decide whether a frame with the given signal/interference is received."""
 
+    def decide_batch(self, rx_power_dbm, interference_dbm, rng=None):
+        """Decision codes (int8 array) for arrays of signal and interference.
+
+        Returns ``BATCH_RECEIVED`` / ``BATCH_WEAK_SIGNAL`` / ``BATCH_COLLISION``
+        per element.  The base implementation loops :meth:`decide` in element
+        order, which is exact for every model and consumes the RNG exactly as
+        a scalar loop over the same inputs would; deterministic subclasses
+        override it with array expressions.
+        """
+        from repro.sim.position_store import require_numpy
+
+        np = require_numpy("decide_batch")
+        count = len(rx_power_dbm)
+        codes = np.empty(count, dtype=np.int8)
+        for i in range(count):
+            outcome = self.decide(
+                float(rx_power_dbm[i]), float(interference_dbm[i]), rng
+            )
+            codes[i] = _DECISION_CODES[outcome.decision]
+        return codes
+
 
 class SnrThresholdReception(ReceptionModel):
     """Deterministic SINR-threshold reception.
@@ -99,6 +140,37 @@ class SnrThresholdReception(ReceptionModel):
         if sinr < self.snr_threshold_db:
             return ReceptionOutcome(ReceptionDecision.COLLISION, sinr)
         return ReceptionOutcome(ReceptionDecision.RECEIVED, sinr)
+
+    def decide_batch(self, rx_power_dbm, interference_dbm, rng=None):
+        """Vectorized threshold test, bit-identical to :meth:`decide`.
+
+        The noise-plus-interference term is the one scalar constant
+        ``combine([noise, NO_SIGNAL])`` for interference-free elements (the
+        common case); elements with real interference get the same
+        noise-mW-plus-interference-mW sum :func:`combine_dbm` computes,
+        evaluated as array expressions (``sum`` starts from zero, and
+        ``0 + x == x`` exactly, so folding from the scalar noise term is
+        bit-identical).  The SINR subtraction and both comparisons are
+        exact in IEEE-754.
+        """
+        from repro.sim.position_store import require_numpy
+
+        np = require_numpy("decide_batch")
+        rx = np.asarray(rx_power_dbm, dtype=np.float64)
+        interference = np.asarray(interference_dbm, dtype=np.float64)
+        quiet = combine_dbm([self.noise_floor_dbm, NO_SIGNAL_DBM])
+        noise_plus_interference = np.full(len(rx), quiet)
+        interfered = np.nonzero(interference != NO_SIGNAL_DBM)[0]
+        if len(interfered):
+            total_mw = dbm_to_mw(self.noise_floor_dbm) + dbm_to_mw_batch(
+                interference[interfered]
+            )
+            noise_plus_interference[interfered] = mw_to_dbm_batch(total_mw)
+        sinr = rx - noise_plus_interference
+        codes = np.full(len(rx), BATCH_RECEIVED, dtype=np.int8)
+        codes[sinr < self.snr_threshold_db] = BATCH_COLLISION
+        codes[rx < self.sensitivity_dbm] = BATCH_WEAK_SIGNAL
+        return codes
 
 
 class ProbabilisticReception(ReceptionModel):
@@ -162,6 +234,9 @@ __all__ = [
     "ReceptionModel",
     "SnrThresholdReception",
     "ProbabilisticReception",
+    "BATCH_RECEIVED",
+    "BATCH_WEAK_SIGNAL",
+    "BATCH_COLLISION",
     "DEFAULT_NOISE_FLOOR_DBM",
     "DEFAULT_SENSITIVITY_DBM",
     "mw_to_dbm",

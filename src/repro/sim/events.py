@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
+@dataclass(eq=False, slots=True)
 class Event:
     """A single scheduled callback.
 
@@ -28,9 +28,23 @@ class Event:
     time: float
     priority: int = 0
     seq: int = 0
-    callback: Optional[Callable[..., Any]] = field(default=None, compare=False)
-    args: tuple = field(default=(), compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    callback: Optional[Callable[..., Any]] = field(default=None)
+    args: tuple = field(default=())
+    cancelled: bool = field(default=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        """Lexicographic ``(time, priority, seq)`` order, written out by hand.
+
+        The heap compares events more often than any other operation touches
+        them, and almost every comparison is settled by ``time`` alone; the
+        early exits avoid the tuple the generated dataclass ordering would
+        build on every call.
+        """
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""

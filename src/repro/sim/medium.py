@@ -19,6 +19,19 @@ are approximated under the grid: transmitters beyond the carrier-sense
 cutoff are excluded from carrier sensing and interference sums, the same
 bounded-range tradeoff :meth:`WirelessMedium._reception_cutoff` already
 applies to reception.
+
+The third backend, ``"vectorized"``, keeps the grid index for candidate
+lookups but registers every node in a struct-of-arrays
+:class:`~repro.sim.position_store.PositionStore` and evaluates the
+per-frame physics -- distances, received powers, interference sums and
+reception decisions -- as numpy array expressions over the candidate rows.
+Each array expression is chosen to be bit-identical to its scalar
+counterpart (see :mod:`~repro.sim.position_store`), so the vectorized
+backend reproduces the scalar backends' event traces byte for byte.  The
+fast path applies when the propagation model is deterministic and the
+interference model is additive (or unused); stochastic channels fall back
+to the scalar per-receiver loop so RNG streams are consumed in exactly the
+scalar order.
 """
 
 from __future__ import annotations
@@ -27,9 +40,14 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.geometry import Vec2
-from repro.radio.interference import NO_SIGNAL_DBM
+from repro.radio.interference import NO_SIGNAL_DBM, dbm_to_mw_batch, mw_to_dbm_batch
 from repro.radio.propagation import PropagationModel
-from repro.radio.reception import ReceptionDecision, ReceptionModel
+from repro.radio.reception import (
+    BATCH_COLLISION,
+    BATCH_RECEIVED,
+    ReceptionDecision,
+    ReceptionModel,
+)
 from repro.sim.engine import Simulator
 from repro.sim.packet import BROADCAST, Packet
 from repro.sim.spatial import make_spatial_index
@@ -71,8 +89,10 @@ class WirelessMedium:
         stack: A complete radio profile supplying propagation, reception,
             interference combination, MAC parameters and transmit power in
             one object.
-        spatial_backend: ``"grid"`` (default) or ``"linear"`` -- how receiver
-            and carrier-sense candidates are looked up.
+        spatial_backend: ``"grid"`` (default), ``"linear"`` or
+            ``"vectorized"`` -- how receiver and carrier-sense candidates
+            are looked up (and, for ``"vectorized"``, whether per-frame
+            physics runs as numpy array expressions; requires numpy).
         cell_size_m: Grid cell size; defaults to the reception cutoff.
         position_slack_m: How far a node may drift from its indexed position
             before a refresh without being missed by a query.
@@ -135,6 +155,18 @@ class WirelessMedium:
         self._range_cache: Dict[float, float] = {}
         self._cs_range_cache: Dict[float, float] = {}
         self.spatial_backend = spatial_backend
+        self._vectorized = spatial_backend == "vectorized"
+        if self._vectorized:
+            from repro.sim.position_store import PositionStore, require_numpy
+
+            self._np = require_numpy()
+            self.position_store: Optional["PositionStore"] = PositionStore()
+        else:
+            self._np = None
+            self.position_store = None
+        #: Cached (ids, cx, cy) from the last vectorized re-index; lets the
+        #: next refresh touch only nodes whose grid cell actually changed.
+        self._cell_cache = None
         if cell_size_m is None:
             cell_size_m = self._default_cell_size()
         self.position_refresh_s = position_refresh_s
@@ -147,6 +179,9 @@ class WirelessMedium:
         #: both spatial backends consume random streams identically.
         self._node_seq: Dict[int, int] = {}
         self._seq_counter = 0
+        #: (structure_version, per-row registration sequence) for the
+        #: vectorized candidate ordering; rebuilt only when rows move.
+        self._row_seq_cache = None
         self._last_position_refresh = -float("inf")
         self._max_tx_power_dbm: Optional[float] = None
 
@@ -167,6 +202,18 @@ class WirelessMedium:
         self._seq_counter += 1
         self._node_seq[node.node_id] = self._seq_counter
         self._node_index.insert(node.node_id, node.position)
+        if self.position_store is not None:
+            from repro.sim.node import StaticPositionProvider
+
+            self.position_store.add(
+                node.node_id,
+                node.position,
+                velocity=node.velocity,
+                tx_power_dbm=node.tx_power_dbm,
+                static=isinstance(node._position_provider, StaticPositionProvider),
+            )
+            node.bind_position_store(self.position_store)
+            self._cell_cache = None
         node.mac = CsmaCaMac(
             node, self, self.mac_config, self.sim.rng.stream(f"mac-{node.node_id}")
         )
@@ -176,6 +223,9 @@ class WirelessMedium:
         self._nodes.pop(node_id, None)
         self._node_seq.pop(node_id, None)
         self._node_index.remove(node_id)
+        if self.position_store is not None and node_id in self.position_store:
+            self.position_store.remove(node_id)
+            self._cell_cache = None
 
     @property
     def nodes(self) -> Dict[int, "Node"]:
@@ -185,10 +235,44 @@ class WirelessMedium:
     # ---------------------------------------------------------- spatial index
     def refresh_positions(self) -> None:
         """Re-index every node's live position (called each mobility step)."""
+        if self._vectorized:
+            self._refresh_positions_vectorized()
+            self._last_position_refresh = self.sim.now
+            return
         index = self._node_index
         for node_id, node in self._nodes.items():
             index.update(node_id, node.position)
         self._last_position_refresh = self.sim.now
+
+    def _refresh_positions_vectorized(self) -> None:
+        """Bulk re-index from the position store.
+
+        Rows owned by an array-capable mobility model are already current;
+        everything else dynamic is pulled from its node's scalar position
+        first.  Grid cells for all rows come from one ``floor(x / size)``
+        array expression (bit-identical to the scalar ``_cell``), and only
+        nodes whose cell changed since the last refresh touch the index.
+        """
+        np = self._np
+        store = self.position_store
+        nodes = self._nodes
+        for node_id in store.unmanaged_dynamic_ids():
+            store.set_position(node_id, nodes[node_id].position)
+        store.touch()
+        count = store.size
+        index = self._node_index
+        size = index.cell_size_m
+        cx = np.floor(store.xs[:count] / size).astype(np.int64)
+        cy = np.floor(store.ys[:count] / size).astype(np.int64)
+        ids = store.ids()
+        cache = self._cell_cache
+        if cache is not None and cache[0] == ids:
+            moved = np.nonzero((cx != cache[1]) | (cy != cache[2]))[0]
+        else:
+            moved = range(count)
+        for i in moved:
+            index.update_cell(ids[i], (int(cx[i]), int(cy[i])))
+        self._cell_cache = (ids, cx, cy)
 
     def _maybe_refresh_positions(self) -> None:
         if self.sim.now - self._last_position_refresh >= self.position_refresh_s:
@@ -221,10 +305,39 @@ class WirelessMedium:
         self, position: Vec2, radius: float, exclude: Optional[int] = None
     ) -> List["Node"]:
         """Registered nodes within ``radius`` metres of ``position``."""
+        if self._vectorized:
+            return self._nodes_within_vectorized(position, radius, exclude)
         return [
             node
             for node in self._nodes_near(position, radius)
             if node.node_id != exclude and position.distance_to(node.position) <= radius
+        ]
+
+    def _nodes_within_vectorized(
+        self, position: Vec2, radius: float, exclude: Optional[int]
+    ) -> List["Node"]:
+        """Array-expression distance filter over the candidate rows.
+
+        Stored positions equal live positions at every event boundary (the
+        mobility step refreshes the store in the same callback that moves
+        the vehicles), and ``sqrt(dx*dx + dy*dy)`` is bit-identical to
+        :meth:`Vec2.distance_to`, so the result matches the scalar filter
+        exactly.
+        """
+        self._maybe_refresh_positions()
+        np = self._np
+        ids = self._node_index.query_ids(position, radius)
+        ids.sort(key=self._node_seq.__getitem__)
+        store = self.position_store
+        rows = store.rows_for(ids)
+        dx = store.xs[rows] - position.x
+        dy = store.ys[rows] - position.y
+        within = np.sqrt(dx * dx + dy * dy) <= radius
+        nodes = self._nodes
+        return [
+            nodes[node_id]
+            for node_id, ok in zip(ids, within)
+            if ok and node_id != exclude
         ]
 
     def nominal_range(self, tx_power_dbm: float = 20.0) -> float:
@@ -284,6 +397,16 @@ class WirelessMedium:
 
     # ------------------------------------------------------------- completion
     def _complete(self, transmission: ActiveTransmission) -> None:
+        if (
+            self._vectorized
+            and self.propagation.deterministic
+            and (
+                not self.interference.uses_contributions
+                or self.interference.additive_mw
+            )
+        ):
+            self._complete_vectorized(transmission)
+            return
         now = self.sim.now
         self._prune(now)
         cutoff = self._reception_cutoff(transmission.tx_power_dbm)
@@ -362,6 +485,194 @@ class WirelessMedium:
                 sender.mac.notify_unicast_result(
                     transmission.packet, transmission.next_hop, unicast_delivered
                 )
+
+    def _row_seq_array(self):
+        """``(seq-per-row, already-sorted)`` cached across position writes.
+
+        Ordering candidates is a per-frame operation; the id->seq dict walk
+        is only paid when the row<->id mapping actually changed (node joined
+        or left), which is rare next to frame completions.  While no node
+        has left, rows sit in registration order and the per-frame argsort
+        can be skipped entirely (``already-sorted`` is True).
+        """
+        store = self.position_store
+        cache = self._row_seq_cache
+        if cache is not None and cache[0] == store.structure_version:
+            return cache[1], cache[2]
+        np = self._np
+        seq = self._node_seq
+        arr = np.fromiter(
+            (seq[node_id] for node_id in store.ids()),
+            dtype=np.int64,
+            count=store.size,
+        )
+        is_sorted = bool(np.all(arr[1:] > arr[:-1])) if len(arr) > 1 else True
+        self._row_seq_cache = (store.structure_version, arr, is_sorted)
+        return arr, is_sorted
+
+    def _complete_vectorized(self, transmission: ActiveTransmission) -> None:
+        """Array-expression twin of the scalar :meth:`_complete` body.
+
+        Distances to *every* stored row are evaluated as one array
+        expression (cheaper than walking grid buckets and re-sorting their
+        candidate lists in Python), then received powers, interference sums
+        and reception decisions run over the in-cutoff survivors -- each
+        expression chosen to be bit-identical to the scalar path (exact
+        IEEE-754 ops vectorized, transcendentals evaluated per element with
+        libm -- see :mod:`~repro.sim.position_store`).  Trace records, stats
+        and deliveries then run in registration order over the survivors, so
+        the emitted event stream is byte-identical to the scalar backends'.
+        Only entered for deterministic propagation with additive (or unused)
+        interference; RNG-drawing reception models are still exact because
+        :meth:`~repro.radio.reception.ReceptionModel.decide_batch` consumes
+        the ``"phy-reception"`` stream in candidate order like the scalar
+        loop (the scalar loop skips out-of-cutoff and no-signal candidates
+        before drawing, so filtering first preserves the stream).
+        """
+        now = self.sim.now
+        self._prune(now)
+        cutoff = self._reception_cutoff(transmission.tx_power_dbm)
+        rng = self.sim.rng.stream("phy-reception")
+        is_unicast = transmission.next_hop != BROADCAST
+        unicast_delivered = False
+        np = self._np
+        store = self.position_store
+        if self.interference.uses_contributions:
+            interferers = [
+                other
+                for other in self._transmissions_near(
+                    transmission.sender_position, cutoff + self._carrier_sense_reach()
+                )
+                if other.uid != transmission.uid
+                and other.end > transmission.start
+                and other.start < transmission.end
+            ]
+        else:
+            interferers = []
+        self._maybe_refresh_positions()
+        sender_position = transmission.sender_position
+        count = store.size
+        dx = store.xs[:count] - sender_position.x
+        dy = store.ys[:count] - sender_position.y
+        distances = np.sqrt(dx * dx + dy * dy)
+        keep = distances <= cutoff
+        if transmission.sender_id in store:
+            keep[store.row_of(transmission.sender_id)] = False
+        candidates = np.nonzero(keep)[0]
+        if candidates.size > 1:
+            # Visit candidates in registration order, like the scalar loop
+            # (rows come back in row order, which IS registration order
+            # until a node leaves and its slot gets recycled).
+            row_seq, already_sorted = self._row_seq_array()
+            if not already_sorted:
+                candidates = candidates[np.argsort(row_seq[candidates], kind="stable")]
+        rx_powers = self.propagation.rx_power_dbm_batch(
+            transmission.tx_power_dbm, distances[candidates]
+        )
+        signal = rx_powers > NO_SIGNAL_DBM
+        kept_rows = candidates[signal]
+        rx_kept = rx_powers[signal]
+        row_ids = store.ids_view()
+        if interferers and len(kept_rows):
+            kept_xs = store.xs[kept_rows]
+            kept_ys = store.ys[kept_rows]
+            # One (interferer x receiver) distance matrix instead of a
+            # python loop of per-interferer arrays; subtraction, multiply
+            # and sqrt are elementwise-exact, so each entry carries the
+            # same bits the per-interferer expression produced.
+            other_xs = np.array([o.sender_position.x for o in interferers])
+            other_ys = np.array([o.sender_position.y for o in interferers])
+            odx = kept_xs[np.newaxis, :] - other_xs[:, np.newaxis]
+            ody = kept_ys[np.newaxis, :] - other_ys[:, np.newaxis]
+            other_distances = np.sqrt(odx * odx + ody * ody)
+            tx_powers = [o.tx_power_dbm for o in interferers]
+            if len(set(tx_powers)) == 1:
+                powers = self.propagation.rx_power_dbm_batch(
+                    tx_powers[0], other_distances.ravel()
+                ).reshape(other_distances.shape)
+            else:
+                powers = np.empty_like(other_distances)
+                for i, other in enumerate(interferers):
+                    powers[i] = self.propagation.rx_power_dbm_batch(
+                        other.tx_power_dbm, other_distances[i]
+                    )
+            # Convert only the entries that carry signal: most of the matrix
+            # is out-of-range (NO_SIGNAL -> 0 mW), and the libm pow behind
+            # the exact conversion dominates this block.  Adding the zeros
+            # in the fold below is exact (0.0 + x == x for x >= 0), so the
+            # sparse conversion is bit-identical to converting everything.
+            flat = powers.ravel()
+            live = np.nonzero(flat > NO_SIGNAL_DBM)[0]
+            mw_flat = np.zeros(flat.size)
+            if live.size:
+                mw_flat[live] = np.float_power(10.0, flat[live] / 10.0)
+            contributions_mw = mw_flat.reshape(powers.shape)
+            # Fold row by row: the scalar path sums contributions in
+            # interferer order, and float addition is order-sensitive.
+            total_mw = np.zeros(len(kept_rows))
+            for i in range(len(interferers)):
+                total_mw += contributions_mw[i]
+            interference_kept = mw_to_dbm_batch(total_mw)
+        else:
+            interference_kept = np.full(len(kept_rows), NO_SIGNAL_DBM)
+        codes = self.reception.decide_batch(rx_kept, interference_kept, rng)
+        rx_list = rx_kept.tolist()
+        nodes = self._nodes
+        packet = transmission.packet
+        sender_id = transmission.sender_id
+        next_hop = transmission.next_hop
+        trace = self.trace if self.trace.enabled else None
+        if not is_unicast and trace is None and not isinstance(codes, list):
+            # Broadcast with tracing off (the beacon-storm hot case): every
+            # receiver is intended, no trace records interleave with
+            # deliveries, and the loss counters are pure tallies -- so count
+            # collisions in bulk and walk only the received indices, mapping
+            # rows to node ids just for those.  (Broadcast frames never hit
+            # the weak-signal counter: it only fires for the addressed next
+            # hop.)
+            collisions = int(np.count_nonzero(codes == BATCH_COLLISION))
+            if collisions:
+                self.stats.collision(collisions)
+            kept_rows_list = kept_rows.tolist()
+            for j in np.nonzero(codes == BATCH_RECEIVED)[0].tolist():
+                nodes[row_ids[kept_rows_list[j]]].deliver(
+                    packet.copy(), sender_id, rx_power_dbm=rx_list[j]
+                )
+            return
+        kept_ids = [row_ids[row] for row in kept_rows.tolist()]
+        code_list = codes.tolist() if hasattr(codes, "tolist") else list(codes)
+        for j, node_id in enumerate(kept_ids):
+            code = code_list[j]
+            intended = not is_unicast or next_hop == node_id
+            if code == BATCH_RECEIVED:
+                if intended:
+                    if is_unicast:
+                        unicast_delivered = True
+                    if trace is not None:
+                        trace.record(
+                            now,
+                            "rx",
+                            node_id,
+                            ptype=packet.ptype,
+                            sender=sender_id,
+                            uid=packet.uid,
+                        )
+                    nodes[node_id].deliver(
+                        packet.copy(), sender_id, rx_power_dbm=rx_list[j]
+                    )
+            elif code == BATCH_COLLISION:
+                if intended:
+                    self.stats.collision()
+                    if trace is not None:
+                        trace.record(
+                            now, "collision", node_id, sender=sender_id, uid=packet.uid
+                        )
+            elif intended and next_hop == node_id:
+                self.stats.weak_signal()
+        if is_unicast:
+            sender = nodes.get(sender_id)
+            if sender is not None and sender.mac is not None:
+                sender.mac.notify_unicast_result(packet, next_hop, unicast_delivered)
 
     def _interference_at(
         self, position: Vec2, interferers: List[ActiveTransmission]

@@ -69,8 +69,10 @@ class Node:
         self.network: Optional["Network"] = None
         self.protocol: Optional["RoutingProtocol"] = None
         self.mac = None  # assigned by WirelessMedium.register()
-        #: Transmit power in dBm; can be overridden per node before start.
-        self.tx_power_dbm: float = 20.0
+        self._tx_power_dbm: float = 20.0
+        #: Struct-of-arrays store this node's row lives in (vectorized medium
+        #: backend only); tx-power writes are mirrored into it.
+        self._position_store = None
         #: Application-layer frame hook installed by workloads: called for
         #: every received frame *before* the routing protocol; returning True
         #: consumes the frame (single-hop broadcast traffic such as safety
@@ -82,6 +84,21 @@ class Node:
         self.app_delivery_handler: Optional[Callable[[Packet], None]] = None
 
     # ------------------------------------------------------------- kinematics
+    @property
+    def tx_power_dbm(self) -> float:
+        """Transmit power in dBm; can be overridden per node before start."""
+        return self._tx_power_dbm
+
+    @tx_power_dbm.setter
+    def tx_power_dbm(self, value: float) -> None:
+        self._tx_power_dbm = value
+        if self._position_store is not None:
+            self._position_store.set_tx_power(self.node_id, value)
+
+    def bind_position_store(self, store) -> None:
+        """Mirror future tx-power writes into ``store`` (vectorized backend)."""
+        self._position_store = store
+
     @property
     def position(self) -> Vec2:
         """Current position (metres)."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import copy
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Optional
 
@@ -20,6 +20,28 @@ from typing import Any, Dict, Optional
 BROADCAST: int = -1
 
 _uid_counter = itertools.count(1)
+
+#: Types that deep-copy to themselves; header/payload values of these types
+#: are shared, everything else is copied.
+_ATOMIC_TYPES = frozenset({int, float, str, bool, bytes, type(None)})
+
+
+def _copy_value(value: Any) -> Any:
+    """Deep-copy a header/payload value, fast-pathing the common shapes.
+
+    Equivalent to :func:`copy.deepcopy` for dicts, lists and atomic values
+    (the overwhelming majority of header content); anything else falls back
+    to deepcopy proper.  Frame delivery copies the packet once per receiver,
+    so this sits on the hottest path in the simulator.
+    """
+    cls = value.__class__
+    if cls is dict:
+        return {key: _copy_value(item) for key, item in value.items()}
+    if cls in _ATOMIC_TYPES:
+        return value
+    if cls is list:
+        return [_copy_value(item) for item in value]
+    return copy.deepcopy(value)
 
 
 class PacketKind(Enum):
@@ -76,15 +98,28 @@ class Packet:
         copies always receive a new ``uid``; the end-to-end identity of a data
         packet is ``(source, flow_id, seq)`` and of a control packet whatever
         the protocol puts in its headers (e.g. an RREQ id).
+
+        The medium calls this once per delivered frame, so the copy is
+        hand-rolled (``dataclasses.replace`` re-runs field resolution per
+        call) with headers and payload duplicated through the deepcopy fast
+        path above.
         """
-        fresh = replace(
-            self,
-            headers=copy.deepcopy(self.headers),
-            payload=copy.deepcopy(self.payload),
-            uid=next(_uid_counter),
-        )
-        for name, value in overrides.items():
-            setattr(fresh, name, value)
+        fresh = object.__new__(self.__class__)
+        state = fresh.__dict__
+        state.update(self.__dict__)
+        headers = state["headers"]
+        if headers:
+            state["headers"] = {key: _copy_value(item) for key, item in headers.items()}
+        else:
+            state["headers"] = {}
+        payload = state["payload"]
+        if payload:
+            state["payload"] = {key: _copy_value(item) for key, item in payload.items()}
+        else:
+            state["payload"] = {}
+        state["uid"] = next(_uid_counter)
+        if overrides:
+            state.update(overrides)
         return fresh
 
     def forwarded(self) -> "Packet":

@@ -139,7 +139,15 @@ class UniformGridIndex(SpatialIndex):
 
     def update(self, item_id: int, position: Vec2) -> None:
         """Move ``item_id``; cheap when it stays inside its current cell."""
-        new_cell = self._cell(position)
+        self.update_cell(item_id, self._cell(position))
+
+    def update_cell(self, item_id: int, new_cell: Tuple[int, int]) -> None:
+        """Move ``item_id`` to a precomputed cell coordinate.
+
+        The vectorized medium backend computes every node's cell in one
+        ``floor(position / cell_size)`` array expression (bit-identical to
+        :meth:`_cell`) and only calls this for items whose cell changed.
+        """
         old_cell = self._cell_of.get(item_id)
         if old_cell == new_cell:
             return
@@ -197,14 +205,17 @@ class UniformGridIndex(SpatialIndex):
 
 
 #: Names accepted by :func:`make_spatial_index` (and the scenario field).
-SPATIAL_BACKENDS = ("grid", "linear")
+#: ``"vectorized"`` keys the struct-of-arrays fast path in the medium; its
+#: candidate lookups still run on a :class:`UniformGridIndex`, so candidate
+#: sets (and therefore event traces) match the ``"grid"`` backend exactly.
+SPATIAL_BACKENDS = ("grid", "linear", "vectorized")
 
 
 def make_spatial_index(
     backend: str, cell_size_m: float, slack_m: float = 0.0
 ) -> SpatialIndex:
-    """Build the spatial index named by ``backend`` (``"grid"`` / ``"linear"``)."""
-    if backend == "grid":
+    """Build the spatial index named by ``backend`` (see :data:`SPATIAL_BACKENDS`)."""
+    if backend in ("grid", "vectorized"):
         return UniformGridIndex(cell_size_m, slack_m)
     if backend == "linear":
         return LinearScanIndex()

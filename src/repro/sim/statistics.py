@@ -262,9 +262,13 @@ class StatsCollector:
         self.backbone_transmissions += 1
 
     # ----------------------------------------------------------------- losses
-    def collision(self) -> None:
-        """Record a frame lost to interference at some receiver."""
-        self.mac_collisions += 1
+    def collision(self, count: int = 1) -> None:
+        """Record ``count`` frames lost to interference at some receiver.
+
+        The vectorized delivery path counts a whole frame's collisions in
+        one call; the scalar paths record them one at a time.
+        """
+        self.mac_collisions += count
 
     def weak_signal(self) -> None:
         """Record a frame below the receiver sensitivity at some receiver."""

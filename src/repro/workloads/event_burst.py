@@ -9,6 +9,7 @@ from repro.sim.node import NodeKind
 from repro.sim.packet import BROADCAST, make_data_packet
 from repro.workloads.base import Workload
 from repro.workloads.registry import register_workload, register_workload_preset
+from repro.workloads.safety_beacon import SCOPE_LINGER_S
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.harness.runner import BuiltScenario
@@ -34,7 +35,12 @@ class EventBurstWorkload(Workload):
 
     Delivery accounting is per receiver against the scope membership frozen
     at trigger time: ``delivery_ratio`` reads as the fraction of in-scope
-    vehicles reached per warning.
+    vehicles reached per warning.  Frozen scope sets, the rebroadcast dedup
+    and the stats collector's per-packet dedup are all released
+    :data:`~repro.workloads.safety_beacon.SCOPE_LINGER_S` seconds after the
+    burst ends -- past that bound no reception of the warning can still be
+    counted, so the tables stay proportional to the in-flight event window
+    instead of accumulating over the whole run.
 
     Constructor keywords: ``event_count`` (default 4), ``radius_m`` (scope
     radius, default 600), ``repeats`` (warning retransmissions per event,
@@ -69,8 +75,10 @@ class EventBurstWorkload(Workload):
             return flows
         #: flow_id -> node ids inside the scope at trigger time.
         scopes: Dict[int, Set[int]] = {}
-        #: (node_id, flow_key) pairs that already rebroadcast, for dedup.
-        rebroadcast_done: Set[Tuple] = set()
+        #: flow_key -> node ids that already rebroadcast that warning, for
+        #: dedup; keyed per packet identity so expiring one warning releases
+        #: its whole entry at once.
+        rebroadcast_done: Dict[Tuple, Set[int]] = {}
         for node in built.network.nodes.values():
             node.app_frame_handler = self._make_receiver(
                 built, node, scopes, rebroadcast_done
@@ -93,7 +101,13 @@ class EventBurstWorkload(Workload):
                 {"flow_id": flow_id, "source": source.node_id, "destination": BROADCAST}
             )
             built.sim.schedule_at(
-                trigger_time, self._trigger_event, built, source, flow_id, scopes
+                trigger_time,
+                self._trigger_event,
+                built,
+                source,
+                flow_id,
+                scopes,
+                rebroadcast_done,
             )
         return flows
 
@@ -103,6 +117,7 @@ class EventBurstWorkload(Workload):
         source: "Node",
         flow_id: int,
         scopes: Dict[int, Set[int]],
+        rebroadcast_done: Dict[Tuple, Set[int]],
     ) -> None:
         """Freeze the scope set and start the warning burst."""
         in_scope = {
@@ -116,6 +131,7 @@ class EventBurstWorkload(Workload):
         built.stats.register_flow(
             flow_id, source.node_id, BROADCAST, mode="broadcast"
         )
+        last_delay = 0.0
         for repeat in range(self.repeats):
             delay = repeat * self.repeat_interval_s
             # Like every other workload, nothing originates past the
@@ -123,6 +139,7 @@ class EventBurstWorkload(Workload):
             # not fresh traffic.
             if built.sim.now + delay > built.scenario.duration_s:
                 break
+            last_delay = delay
             built.sim.schedule(
                 delay,
                 self._send_warning,
@@ -131,7 +148,12 @@ class EventBurstWorkload(Workload):
                 flow_id,
                 repeat + 1,
                 len(in_scope),
+                rebroadcast_done,
             )
+        # The frozen scope expires on the safety-beacon linger bound after
+        # the last warning of the burst: past it no reception of this event
+        # can still be counted against the set.
+        built.sim.schedule(last_delay + SCOPE_LINGER_S, scopes.pop, flow_id, None)
 
     def _send_warning(
         self,
@@ -140,6 +162,7 @@ class EventBurstWorkload(Workload):
         flow_id: int,
         seq: int,
         expected: int,
+        rebroadcast_done: Dict[Tuple, Set[int]],
     ) -> None:
         packet = make_data_packet(
             "app",
@@ -154,13 +177,21 @@ class EventBurstWorkload(Workload):
         packet.ptype = EVT_PTYPE
         built.stats.data_originated(packet, expected_receivers=expected)
         source.send(packet, BROADCAST)
+        # Same linger bound as the scope: release this warning's rebroadcast
+        # dedup entry and the stats collector's per-(receiver, packet) dedup.
+        built.sim.schedule(
+            SCOPE_LINGER_S, rebroadcast_done.pop, packet.flow_key, None
+        )
+        built.sim.schedule(
+            SCOPE_LINGER_S, built.stats.packet_retired, flow_id, packet.flow_key
+        )
 
     @staticmethod
     def _make_receiver(
         built: "BuiltScenario",
         node: "Node",
         scopes: Dict[int, Set[int]],
-        rebroadcast_done: Set[Tuple],
+        rebroadcast_done: Dict[Tuple, Set[int]],
     ):
         def receive(packet: "Packet", sender_id: int) -> bool:
             if packet.ptype != EVT_PTYPE:
@@ -172,9 +203,9 @@ class EventBurstWorkload(Workload):
                 built.stats.data_delivered(packet, built.sim.now, receiver=node.node_id)
                 # Geo-scoped flooding: every in-scope receiver relays each
                 # warning exactly once while the hop budget lasts.
-                dedup_key = (node.node_id, packet.flow_key)
-                if packet.ttl > 1 and dedup_key not in rebroadcast_done:
-                    rebroadcast_done.add(dedup_key)
+                done = rebroadcast_done.setdefault(packet.flow_key, set())
+                if packet.ttl > 1 and node.node_id not in done:
+                    done.add(node.node_id)
                     node.send(packet.forwarded(), BROADCAST)
             return True
 

@@ -381,6 +381,43 @@ class TestEventBurstWorkload:
         result = ExperimentRunner().run(scenario, "Greedy")
         assert result.summary["data_sent"] == 0.0
 
+    def test_dedup_state_expires_on_the_scope_linger_bound(self):
+        """Frozen scopes, the rebroadcast dedup and the stats dedup must be
+        released SCOPE_LINGER_S after each burst instead of accumulating for
+        the whole run (they used to leak until teardown)."""
+        from repro.workloads.safety_beacon import SCOPE_LINGER_S
+
+        scenario = _small_scenario(
+            duration_s=6.0,
+            workload="event-burst",
+            workload_params={"event_count": 2, "repeats": 2},
+        )
+        runner = ExperimentRunner()
+        built = runner.build(scenario)
+        from repro.protocols.location import LocationService
+        from repro.protocols.registry import make_protocol_factory
+        from repro.workloads import workload_from_name
+
+        factory = make_protocol_factory(
+            "Flooding",
+            location_service=LocationService(built.network),
+            road_graph=built.road_graph,
+        )
+        built.network.attach_protocols(factory)
+        workload = workload_from_name(
+            scenario.workload, **dict(scenario.workload_params)
+        )
+        workload.build(scenario, built, built.sim.rng.stream("traffic"))
+        built.network.start()
+        built.sim.run(until=scenario.duration_s)
+        delivered_before = built.stats.summary()["data_delivered"]
+        assert built.stats.dedup_entries > 0
+        # Past the last burst plus the linger bound every dedup table is
+        # empty again, and no late counting happened.
+        built.sim.run(until=scenario.duration_s + SCOPE_LINGER_S + 1.0)
+        assert built.stats.dedup_entries == 0
+        assert built.stats.summary()["data_delivered"] == delivered_before
+
 
 class TestV2IWorkload:
     def test_request_response_sessions_run_over_rsus(self):
