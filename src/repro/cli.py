@@ -20,6 +20,11 @@ also runnable as ``python -m repro.cli``.  Subcommands:
     List the registered workload kinds and named presets.
 ``list-radios``
     List the registered radio kinds and named radio-stack presets.
+``lint``
+    Run the determinism / registry-contract static analysis over a source
+    tree (default: the installed ``repro`` package).
+``list-lint-rules``
+    List the registered lint rules with their rationale.
 
 Scenarios are selected either by ``--scenario`` (a preset name such as
 ``city-grid-2km-sparse``, a registered kind, or ``trace:<path>`` for FCD
@@ -39,6 +44,9 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.core.taxonomy import global_registry
+from repro.devtools.registry import rule_rows
+from repro.devtools.lint import run_lint
+from repro.devtools.reporters import REPORTERS
 from repro.harness.reporting import format_table, rows_to_csv, sweep_to_json
 from repro.harness.runner import ExperimentRunner
 from repro.harness.scenario import DEFAULT_FLOW_COUNT, FlowSpec, Scenario
@@ -448,6 +456,24 @@ def _command_list_radios(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    return run_lint(args.paths, output_format=args.format, select=args.select)
+
+
+def _command_list_lint_rules(_: argparse.Namespace) -> int:
+    print(
+        format_table(
+            rule_rows(), columns=["rule", "severity", "rationale"], title="Lint rules"
+        )
+    )
+    print()
+    print(
+        "Run them with 'repro-vanet lint' (or 'python -m repro.devtools.lint'); "
+        "suppress one finding with '# repro-lint: ok <RULE-ID> -- <reason>'."
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -510,6 +536,28 @@ def build_parser() -> argparse.ArgumentParser:
         "list-radios", help="list registered radio kinds and named presets"
     )
     radios_parser.set_defaults(func=_command_list_radios)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the determinism/registry static analysis over a source tree"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text; 'github' emits CI annotations)",
+    )
+    lint_parser.add_argument(
+        "--select", type=str, default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    lint_parser.set_defaults(func=_command_lint)
+
+    lint_rules_parser = subparsers.add_parser(
+        "list-lint-rules", help="list registered lint rules and their rationale"
+    )
+    lint_rules_parser.set_defaults(func=_command_list_lint_rules)
     return parser
 
 

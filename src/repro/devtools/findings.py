@@ -1,0 +1,58 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding pins a rule violation to an exact ``(rule-id, file, line)``
+triple; the test suite asserts findings by that triple, so locations are
+part of each rule's contract, not presentation detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Severity of a finding that must be fixed (or pragma'd) before merge.
+SEVERITY_ERROR = "error"
+#: Severity of an advisory finding; still fails the lint run (the tree must
+#: be *clean*), but reporters render it distinctly.
+SEVERITY_WARNING = "warning"
+
+#: Every severity a rule may declare.
+SEVERITIES: Tuple[str, ...] = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: Package-relative posix path of the offending file (e.g.
+            ``mobility/highway.py``); what reporters print and tests match.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node (``ast`` convention).
+        rule_id: Id of the rule that fired (e.g. ``RNG-001``).
+        message: One-sentence explanation with the suggested fix.
+        severity: :data:`SEVERITY_ERROR` or :data:`SEVERITY_WARNING`.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` as editors and CI annotations expect it."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-reporter representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }

@@ -1,0 +1,104 @@
+"""Per-line suppression pragmas.
+
+A finding is suppressed by a pragma comment *on the same physical line*,
+and every suppression must carry a justification::
+
+    rng = random.Random(0)  # repro-lint: ok RNG-001 -- catalogue listing only
+
+Several rule ids may be suppressed at once (``ok RNG-001,DET-001 -- ...``).
+A pragma without a reason, with an unparseable body, or naming an unknown
+rule id does not suppress anything -- it is itself reported as a
+``LINT-001`` finding, so suppressions can never silently rot.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+#: Marker that makes a comment a lint pragma.
+PRAGMA_MARKER = "repro-lint:"
+
+_BODY_RE = re.compile(
+    r"^ok\s+(?P<ids>[A-Z]{2,8}-\d{3}(?:\s*,\s*[A-Z]{2,8}-\d{3})*)"
+    r"\s+--\s+(?P<reason>\S.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A well-formed suppression: rule ids justified on one line."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """True when this pragma covers ``rule_id`` on ``line``."""
+        return line == self.line and rule_id in self.rule_ids
+
+
+@dataclass(frozen=True)
+class PragmaError:
+    """A malformed pragma (reported as a ``LINT-001`` finding)."""
+
+    line: int
+    col: int
+    message: str
+
+
+def extract_pragmas(
+    text: str, known_rule_ids: Iterable[str]
+) -> Tuple[List[Pragma], List[PragmaError]]:
+    """All pragmas in ``text``, split into well-formed and malformed.
+
+    Comments are found with :mod:`tokenize` (not substring search), so a
+    pragma-shaped string *literal* never suppresses anything.  ``text`` is
+    assumed to already parse as Python (the engine lints only files that
+    survived :func:`ast.parse`).
+    """
+    known: Set[str] = set(known_rule_ids)
+    pragmas: List[Pragma] = []
+    errors: List[PragmaError] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - ast
+        return pragmas, errors  # parsed already; tokenize failure is theoretical
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string.lstrip("#").strip()
+        marker_at = comment.find(PRAGMA_MARKER)
+        if marker_at < 0:
+            continue
+        line, col = token.start
+        body = comment[marker_at + len(PRAGMA_MARKER):].strip()
+        match = _BODY_RE.match(body)
+        if match is None:
+            errors.append(
+                PragmaError(
+                    line,
+                    col,
+                    "malformed pragma; expected "
+                    "'# repro-lint: ok <RULE-ID>[,<RULE-ID>...] -- <reason>'",
+                )
+            )
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group("ids").split(",")
+        )
+        unknown = [rule_id for rule_id in rule_ids if rule_id not in known]
+        if unknown:
+            errors.append(
+                PragmaError(
+                    line,
+                    col,
+                    f"pragma names unknown rule id(s): {', '.join(unknown)}",
+                )
+            )
+            continue
+        pragmas.append(Pragma(line, rule_ids, match.group("reason").strip()))
+    return pragmas, errors

@@ -1,0 +1,64 @@
+"""Finding reporters: human text, machine JSON, GitHub Actions annotations.
+
+The ``github`` format prints workflow commands
+(``::error file=...,line=...``) so lint failures annotate the offending
+``file:line`` directly in the CI job output and the PR diff view.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List
+
+from repro.devtools.engine import LintReport
+from repro.devtools.findings import SEVERITY_WARNING
+
+
+def render_text(report: LintReport) -> str:
+    """``path:line:col: RULE-ID [severity] message`` lines plus a summary."""
+    lines: List[str] = [
+        f"{finding.location}: {finding.rule_id} [{finding.severity}] {finding.message}"
+        for finding in report.findings
+    ]
+    if report.clean:
+        lines.append(f"{report.file_count} file(s) linted: clean")
+    else:
+        lines.append(
+            f"{report.file_count} file(s) linted: "
+            f"{report.error_count} error(s), {report.warning_count} warning(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The full report as a JSON document."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions workflow-command annotations, one per finding."""
+    lines: List[str] = []
+    for finding in report.findings:
+        level = "warning" if finding.severity == SEVERITY_WARNING else "error"
+        message = finding.message.replace("%", "%25").replace("\n", "%0A")
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule_id}::{message}"
+        )
+    lines.append(
+        f"{report.file_count} file(s) linted: "
+        + (
+            "clean"
+            if report.clean
+            else f"{report.error_count} error(s), {report.warning_count} warning(s)"
+        )
+    )
+    return "\n".join(lines)
+
+
+#: format name -> renderer, for the CLI's ``--format`` flag.
+REPORTERS: Dict[str, Callable[[LintReport], str]] = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}

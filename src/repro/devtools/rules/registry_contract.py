@@ -1,0 +1,266 @@
+"""REG-001: every pluggable component honours its registry's contract.
+
+Cross-file checks over the whole lint run:
+
+* every concrete ``*Protocol`` class under ``protocols/`` appears in
+  ``PROTOCOL_FACTORIES`` (classes that other classes subclass are treated
+  as intermediate bases and exempt);
+* every concrete :class:`Workload` subclass under ``workloads/`` carries a
+  ``@register_workload`` decoration, and every registered workload really
+  subclasses ``Workload``;
+* preset names passed to ``register_preset`` /
+  ``register_workload_preset`` / ``register_radio_preset`` as string
+  literals follow the established kebab-case convention
+  (``city-grid-2km-sparse``, ``dsrc-urban-nlos``, ...);
+* ``@register_scenario`` builders accept exactly the contract signature
+  ``(scenario, rng)``;
+* ``@register_radio`` builders take ``rng`` first with every other
+  parameter defaulted (so presets can override any subset by keyword).
+
+The checks are syntactic (AST only, nothing imported), so they run on any
+tree -- including test fixtures -- without executing registry side effects.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.devtools.astutils import constant_str
+from repro.devtools.base import LintRule, ParsedModule, ProjectContext
+from repro.devtools.findings import SEVERITY_ERROR, Finding
+from repro.devtools.registry import register_lint_rule
+
+#: Preset-registering callables whose first argument is the preset name.
+PRESET_REGISTRARS = frozenset(
+    {"register_preset", "register_workload_preset", "register_radio_preset"}
+)
+
+#: The established preset naming convention (``dsrc-urban-nlos``,
+#: ``highway-10km-congested``, ...).
+KEBAB_CASE = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
+
+
+@dataclass
+class _ClassFact:
+    module: ParsedModule
+    node: ast.ClassDef
+    bases: Tuple[str, ...]
+    decorators: Tuple[str, ...]
+
+
+@dataclass
+class _ProjectFacts:
+    """Everything REG-001 needs, gathered in one pass over the project."""
+
+    classes: Dict[str, _ClassFact] = field(default_factory=dict)
+    base_names: Set[str] = field(default_factory=set)
+    protocol_registry_seen: bool = False
+    registered_protocols: Set[str] = field(default_factory=set)
+
+
+def _decorator_name(node: ast.expr) -> Optional[str]:
+    """Bare name of a decorator (``register_workload`` for both the plain
+    and the attribute-qualified spelling), or None."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _required_positional(args: ast.arguments) -> List[ast.arg]:
+    """Positional parameters without defaults, in declaration order."""
+    positional = list(args.posonlyargs) + list(args.args)
+    defaulted = len(args.defaults)
+    return positional[: len(positional) - defaulted] if defaulted else positional
+
+
+@register_lint_rule("REG-001")
+class RegistryContractRule(LintRule):
+    """Unregistered components, off-convention presets, contract drift."""
+
+    severity = SEVERITY_ERROR
+    rationale = (
+        "every concrete protocol/workload is registered, preset names are "
+        "kebab-case, and scenario/radio builders match their registry's "
+        "call contract"
+    )
+    historical_bug = (
+        "PR 5: a radio builder that took its overrides positionally broke "
+        "every preset's keyword-override path until the signature was fixed "
+        "in review"
+    )
+
+    # ------------------------------------------------------------- gather
+    def _gather(self, project: ProjectContext) -> _ProjectFacts:
+        facts = _ProjectFacts()
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    bases = tuple(
+                        name
+                        for name in (_base_name(base) for base in node.bases)
+                        if name is not None
+                    )
+                    decorators = tuple(
+                        name
+                        for name in (
+                            _decorator_name(dec) for dec in node.decorator_list
+                        )
+                        if name is not None
+                    )
+                    facts.classes.setdefault(
+                        node.name, _ClassFact(module, node, bases, decorators)
+                    )
+                    facts.base_names.update(bases)
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id == "PROTOCOL_FACTORIES"
+                            and isinstance(node.value, ast.Dict)
+                        ):
+                            facts.protocol_registry_seen = True
+                            for value in node.value.values:
+                                name = _base_name(value)
+                                if name is not None:
+                                    facts.registered_protocols.add(name)
+        return facts
+
+    def _subclasses(self, facts: _ProjectFacts, name: str, target: str) -> bool:
+        """True when class ``name`` has ``target`` in its (named) MRO."""
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current == target:
+                return True
+            fact = facts.classes.get(current)
+            if fact is not None:
+                stack.extend(fact.bases)
+        return False
+
+    # ------------------------------------------------------------- checks
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        facts = self._gather(project)
+        yield from self._check_protocols(facts)
+        yield from self._check_workloads(facts)
+        for module in project.modules:
+            yield from self._check_presets_and_builders(module)
+
+    def _check_protocols(self, facts: _ProjectFacts) -> Iterator[Finding]:
+        if not facts.protocol_registry_seen:
+            return
+        for name, fact in sorted(facts.classes.items()):
+            if not fact.module.relpath.startswith("protocols/"):
+                continue
+            if not name.endswith("Protocol") or name.startswith("_"):
+                continue
+            if name == "RoutingProtocol" or name in facts.base_names:
+                continue  # the ABC / intermediate bases are not registrable
+            if name not in facts.registered_protocols:
+                yield self.report(
+                    fact.module,
+                    fact.node,
+                    f"concrete protocol class {name} is not registered in "
+                    "PROTOCOL_FACTORIES (protocols/registry.py); every "
+                    "implemented protocol must be sweepable by name",
+                )
+
+    def _check_workloads(self, facts: _ProjectFacts) -> Iterator[Finding]:
+        for name, fact in sorted(facts.classes.items()):
+            if not fact.module.relpath.startswith("workloads/"):
+                continue
+            is_workload = name != "Workload" and self._subclasses(
+                facts, name, "Workload"
+            )
+            registered = "register_workload" in fact.decorators
+            if is_workload and not registered and name not in facts.base_names:
+                yield self.report(
+                    fact.module,
+                    fact.node,
+                    f"concrete Workload subclass {name} lacks "
+                    "@register_workload(...); unregistered workloads cannot "
+                    "be named by scenarios or swept",
+                )
+            elif registered and not is_workload:
+                yield self.report(
+                    fact.module,
+                    fact.node,
+                    f"@register_workload on {name}, which does not subclass "
+                    "Workload; the registry contract requires the Workload "
+                    "build(scenario, built, rng) interface",
+                )
+
+    def _check_presets_and_builders(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _decorator_name(node.func)
+                if name in PRESET_REGISTRARS and node.args:
+                    preset_name = constant_str(node.args[0])
+                    if preset_name is not None and KEBAB_CASE.match(preset_name) is None:
+                        yield self.report(
+                            module,
+                            node,
+                            f"preset name {preset_name!r} breaks the "
+                            "kebab-case convention ('city-grid-2km-sparse', "
+                            "'dsrc-urban-nlos', ...)",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_builder_signature(module, node)
+
+    def _check_builder_signature(
+        self, module: ParsedModule, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        decorators = {
+            name
+            for name in (_decorator_name(dec) for dec in node.decorator_list)
+            if name is not None
+        }
+        if "register_scenario" in decorators:
+            required = _required_positional(node.args)
+            if len(required) != 2 or node.args.vararg is not None:
+                yield self.report(
+                    module,
+                    node,
+                    f"scenario builder {node.name} must accept exactly "
+                    "(scenario, rng) -- the MobilityBuilder contract the "
+                    "runner calls it with",
+                )
+        if "register_radio" in decorators:
+            positional = list(node.args.posonlyargs) + list(node.args.args)
+            required = _required_positional(node.args)
+            undefaulted_kwonly = [
+                arg
+                for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults)
+                if default is None
+            ]
+            if (
+                not positional
+                or positional[0].arg != "rng"
+                or len(required) > 1
+                or undefaulted_kwonly
+            ):
+                yield self.report(
+                    module,
+                    node,
+                    f"radio builder {node.name} must take the seeded 'rng' "
+                    "stream first and default every other parameter, so "
+                    "presets can override any subset by keyword",
+                )

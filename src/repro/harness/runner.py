@@ -293,7 +293,9 @@ class ExperimentRunner:
         """
         started_wall = time.perf_counter()
         built = self.build(scenario)
-        location_service = LocationService(built.network)
+        location_service = LocationService(
+            built.network, rng=built.sim.rng.stream("location")
+        )
         factory = make_protocol_factory(
             protocol_name,
             config=protocol_config,

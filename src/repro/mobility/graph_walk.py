@@ -57,7 +57,14 @@ class GraphWalkMobility:
             raise ValueError("graph-walk mobility needs a non-empty road graph")
         self.graph = graph
         self.config = config if config is not None else GraphWalkConfig()
-        self._rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            # No fixed-seed fallback: scenario.seed must reach every turn
+            # decision (see the PR 2 random-waypoint regression).
+            raise ValueError(
+                "GraphWalkMobility needs the simulator's seeded 'mobility' "
+                "stream (rng=sim.rng.stream('mobility'))"
+            )
+        self._rng = rng
         self.vehicles: List[VehicleState] = []
         #: vid -> (from intersection, to intersection); progress lives in
         #: ``VehicleState.route_progress`` (metres from the edge's start).

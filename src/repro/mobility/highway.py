@@ -64,7 +64,14 @@ class HighwayMobility:
         mobil: Optional[MobilParameters] = None,
     ) -> None:
         self.config = config if config is not None else HighwayConfig()
-        self._rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            # No fixed-seed fallback: scenario.seed must reach every driver
+            # draw (see the PR 2 random-waypoint regression).
+            raise ValueError(
+                "HighwayMobility needs the simulator's seeded 'mobility' "
+                "stream (rng=sim.rng.stream('mobility'))"
+            )
+        self._rng = rng
         self.idm = idm if idm is not None else IdmParameters()
         self.mobil = mobil if mobil is not None else MobilParameters()
         self.vehicles: List[VehicleState] = []

@@ -70,7 +70,14 @@ class ManhattanMobility:
         rng: Optional[random.Random] = None,
     ) -> None:
         self.config = config if config is not None else ManhattanConfig()
-        self._rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            # No fixed-seed fallback: scenario.seed must reach every turn
+            # decision (see the PR 2 random-waypoint regression).
+            raise ValueError(
+                "ManhattanMobility needs the simulator's seeded 'mobility' "
+                "stream (rng=sim.rng.stream('mobility'))"
+            )
+        self._rng = rng
         self.vehicles: List[VehicleState] = []
         self._directions: dict[int, Tuple[int, int]] = {}
         self._next_vid = 0

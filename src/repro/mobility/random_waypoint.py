@@ -45,7 +45,15 @@ class RandomWaypointMobility:
         rng: Optional[random.Random] = None,
     ) -> None:
         self.config = config if config is not None else RandomWaypointConfig()
-        self._rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            # A fixed-seed fallback here once made every scenario.seed
+            # produce identical motion (fixed in PR 2); the stream is now
+            # mandatory so the seed can never be silently ignored again.
+            raise ValueError(
+                "RandomWaypointMobility needs the simulator's seeded "
+                "'mobility' stream (rng=sim.rng.stream('mobility'))"
+            )
+        self._rng = rng
         self.vehicles: List[VehicleState] = []
         self._targets: Dict[int, Vec2] = {}
         self._pause_until: Dict[int, float] = {}

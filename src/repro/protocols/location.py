@@ -31,7 +31,15 @@ class LocationService:
         self.network = network
         self.position_error_std_m = position_error_std_m
         self.staleness_s = staleness_s
-        self._rng = rng if rng is not None else random.Random(0)
+        if position_error_std_m > 0 and rng is None:
+            # Noise draws must come from a stream derived from scenario.seed;
+            # a fixed-seed fallback would make the "noisy GPS" ablation
+            # identical across seeds.
+            raise ValueError(
+                "LocationService with position_error_std_m > 0 needs a seeded "
+                "rng (pass sim.rng.stream('location'))"
+            )
+        self._rng = rng
 
     def position_of(self, node_id: int) -> Optional[Vec2]:
         """Best-known position of ``node_id`` (None when the node is unknown).

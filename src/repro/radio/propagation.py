@@ -305,7 +305,20 @@ class LogNormalShadowing(PropagationModel):
         self.reference_distance = reference_distance
         self._free_space = FreeSpacePropagation(frequency_hz)
         self.reference_loss_db = self._free_space.path_loss_db(reference_distance)
-        self._rng = rng if rng is not None else random.Random(0)
+        # No fixed-seed fallback: analytic uses (mean_rx_power_dbm,
+        # link_probability) never draw, and a shadowing *draw* without the
+        # simulator's seeded "radio" stream would silently ignore
+        # scenario.seed -- _draw_rng refuses instead.
+        self._rng = rng
+
+    def _draw_rng(self) -> random.Random:
+        if self._rng is None:
+            raise ValueError(
+                "LogNormalShadowing draw without a seeded rng: pass the "
+                "simulator's 'radio' stream (rng=sim.rng.stream('radio')) so "
+                "shadowing samples derive from scenario.seed"
+            )
+        return self._rng
 
     @property
     def deterministic(self) -> bool:
@@ -334,12 +347,12 @@ class LogNormalShadowing(PropagationModel):
     def rx_power_dbm(self, tx_power_dbm: float, tx_pos: Vec2, rx_pos: Vec2) -> float:
         """Transmit power minus mean path loss minus a Gaussian shadowing draw."""
         distance = tx_pos.distance_to(rx_pos)
-        shadowing = self._rng.gauss(0.0, self.sigma_db) if self.sigma_db > 0 else 0.0
+        shadowing = self._draw_rng().gauss(0.0, self.sigma_db) if self.sigma_db > 0 else 0.0
         return tx_power_dbm - self.mean_path_loss_db(distance) - shadowing
 
     def rx_power_dbm_from_distance(self, tx_power_dbm: float, distance: float) -> float:
         """Transmit power minus mean path loss minus a Gaussian shadowing draw."""
-        shadowing = self._rng.gauss(0.0, self.sigma_db) if self.sigma_db > 0 else 0.0
+        shadowing = self._draw_rng().gauss(0.0, self.sigma_db) if self.sigma_db > 0 else 0.0
         return tx_power_dbm - self.mean_path_loss_db(distance) - shadowing
 
     def rx_power_dbm_batch(self, tx_power_dbm: float, distances):
@@ -400,7 +413,19 @@ class NakagamiFading(PropagationModel):
             raise ValueError(f"Nakagami m must be >= 0.5 (got {m})")
         self.m = m
         self.mean_model = mean_model if mean_model is not None else TwoRayGroundPropagation()
-        self._rng = rng if rng is not None else random.Random(0)
+        # Nakagami fading is always stochastic; refusing to draw unseeded
+        # (rather than falling back to a fixed Random(0)) is what keeps
+        # scenario.seed authoritative.  See _draw_rng.
+        self._rng = rng
+
+    def _draw_rng(self) -> random.Random:
+        if self._rng is None:
+            raise ValueError(
+                "NakagamiFading draw without a seeded rng: pass the "
+                "simulator's 'radio' stream (rng=sim.rng.stream('radio')) so "
+                "fading samples derive from scenario.seed"
+            )
+        return self._rng
 
     def rx_power_dbm(self, tx_power_dbm: float, tx_pos: Vec2, rx_pos: Vec2) -> float:
         """A Gamma(m, mean/m) power draw around the mean received power."""
@@ -408,7 +433,7 @@ class NakagamiFading(PropagationModel):
         if mean_dbm <= NO_SIGNAL_DBM:
             return NO_SIGNAL_DBM
         mean_mw = dbm_to_mw(mean_dbm)
-        return mw_to_dbm(self._rng.gammavariate(self.m, mean_mw / self.m))
+        return mw_to_dbm(self._draw_rng().gammavariate(self.m, mean_mw / self.m))
 
     def rx_power_dbm_from_distance(self, tx_power_dbm: float, distance: float) -> float:
         """A Gamma(m, mean/m) power draw around the mean received power."""
@@ -416,7 +441,7 @@ class NakagamiFading(PropagationModel):
         if mean_dbm <= NO_SIGNAL_DBM:
             return NO_SIGNAL_DBM
         mean_mw = dbm_to_mw(mean_dbm)
-        return mw_to_dbm(self._rng.gammavariate(self.m, mean_mw / self.m))
+        return mw_to_dbm(self._draw_rng().gammavariate(self.m, mean_mw / self.m))
 
     def mean_rx_power_dbm(self, tx_power_dbm: float, distance: float) -> float:
         """The underlying model's mean power (the fading draw has this mean)."""

@@ -29,7 +29,7 @@ class Event:
     priority: int = 0
     seq: int = 0
     callback: Optional[Callable[..., Any]] = field(default=None)
-    args: tuple = field(default=())
+    args: tuple[Any, ...] = field(default=())
     cancelled: bool = field(default=False)
 
     def __lt__(self, other: "Event") -> bool:
@@ -73,7 +73,7 @@ class EventQueue:
         self,
         time: float,
         callback: Callable[..., Any],
-        args: tuple = (),
+        args: tuple[Any, ...] = (),
         priority: int = 0,
     ) -> Event:
         """Schedule ``callback(*args)`` at ``time`` and return the event."""

@@ -137,7 +137,7 @@ class Packet:
         return self.kind is PacketKind.CONTROL
 
     @property
-    def flow_key(self) -> tuple:
+    def flow_key(self) -> tuple[int, Optional[int], Optional[int]]:
         """End-to-end identity of a data packet: ``(source, flow_id, seq)``."""
         return (self.source, self.flow_id, self.seq)
 

@@ -1,0 +1,70 @@
+"""BITX-001 fixtures plus the PR 6 historical-bug regression."""
+
+from pathlib import Path
+
+from repro.devtools import lint_sources
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _hits(report, rule_id="BITX-001"):
+    return [(f.rule_id, f.path, f.line) for f in report.findings if f.rule_id == rule_id]
+
+
+class TestBitExactConversionRule:
+    def test_np_power_flagged(self):
+        src = "import numpy as np\n\nmw = np.power(10.0, dbm / 10.0)\n"
+        report = lint_sources({"radio/vec.py": src}, select=["BITX-001"])
+        assert _hits(report) == [("BITX-001", "radio/vec.py", 3)]
+
+    def test_np_log10_flagged_through_from_import(self):
+        src = "from numpy import log10\n\ndbm = 10.0 * log10(mw)\n"
+        report = lint_sources({"sim/medium.py": src}, select=["BITX-001"])
+        assert _hits(report) == [("BITX-001", "sim/medium.py", 3)]
+
+    def test_float_power_allowed(self):
+        src = "import numpy as np\n\nmw = np.float_power(10.0, dbm / 10.0)\n"
+        report = lint_sources({"radio/vec.py": src}, select=["BITX-001"])
+        assert report.clean
+
+    def test_inline_conversion_flagged_outside_helper_module(self):
+        src = "def dbm_to_mw(dbm):\n    return 10.0 ** (dbm / 10.0)\n"
+        report = lint_sources({"radio/propagation.py": src}, select=["BITX-001"])
+        assert _hits(report) == [("BITX-001", "radio/propagation.py", 2)]
+
+    def test_inline_conversion_allowed_in_interference_helpers(self):
+        src = "def dbm_to_mw(dbm):\n    return 10.0 ** (dbm / 10.0)\n"
+        report = lint_sources({"radio/interference.py": src}, select=["BITX-001"])
+        assert report.clean
+
+    def test_require_numpy_binding_resolves_to_numpy(self):
+        # Optional-numpy modules bind np via the require_numpy gate instead
+        # of importing it; calls through that binding are numpy calls too.
+        src = (
+            "from repro.sim.position_store import require_numpy\n\n"
+            "def f(dbm):\n"
+            "    np = require_numpy('f')\n"
+            "    return np.power(10.0, dbm / 10.0)\n"
+        )
+        report = lint_sources({"radio/vec.py": src}, select=["BITX-001"])
+        assert _hits(report) == [("BITX-001", "radio/vec.py", 5)]
+
+    def test_unrelated_power_expression_allowed(self):
+        src = "area = side ** 2\nscaled = 10.0 ** exponent\n"
+        report = lint_sources({"radio/vec.py": src}, select=["BITX-001"])
+        assert report.clean
+
+    def test_reverting_interference_to_np_power_refires(self):
+        """Acceptance criterion: swapping np.float_power back to np.power in
+        the real interference module must re-flag the PR 6 bug."""
+        original = (SRC / "radio" / "interference.py").read_text(encoding="utf-8")
+        assert "np.float_power" in original, "policy helper moved; update the test"
+        reverted = original.replace("np.float_power", "np.power")
+        report = lint_sources(
+            {"radio/interference.py": reverted}, select=["BITX-001"]
+        )
+        assert not report.clean
+        assert all(f.rule_id == "BITX-001" for f in report.findings)
+        # The current tree, unmodified, stays clean.
+        clean = lint_sources({"radio/interference.py": original}, select=["BITX-001"])
+        assert clean.clean

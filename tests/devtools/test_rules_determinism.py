@@ -1,0 +1,76 @@
+"""DET-001 / DET-002 fixtures: ambient state and unordered iteration."""
+
+from repro.devtools import lint_sources
+
+
+def _hits(report, rule_id):
+    return [(f.rule_id, f.path, f.line) for f in report.findings if f.rule_id == rule_id]
+
+
+class TestAmbientStateRule:
+    def test_wall_clock_in_core_flagged(self):
+        src = "import time\n\nstart = time.time()\n"
+        report = lint_sources({"sim/engine.py": src}, select=["DET-001"])
+        assert _hits(report, "DET-001") == [("DET-001", "sim/engine.py", 3)]
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\nstamp = datetime.datetime.now()\n"
+        report = lint_sources({"protocols/p.py": src}, select=["DET-001"])
+        assert _hits(report, "DET-001") == [("DET-001", "protocols/p.py", 2)]
+
+    def test_os_environ_read_flagged(self):
+        src = "import os\nworkers = os.environ['WORKERS']\n"
+        report = lint_sources({"workloads/w.py": src}, select=["DET-001"])
+        assert _hits(report, "DET-001") == [("DET-001", "workloads/w.py", 2)]
+
+    def test_os_getenv_flagged(self):
+        src = "import os\nmode = os.getenv('MODE', 'fast')\n"
+        report = lint_sources({"radio/mac.py": src}, select=["DET-001"])
+        assert _hits(report, "DET-001") == [("DET-001", "radio/mac.py", 2)]
+
+    def test_harness_layer_out_of_scope(self):
+        # Wall-clock measurement of a finished run is a harness concern.
+        src = "import time\nstarted = time.perf_counter()\n"
+        report = lint_sources({"harness/runner.py": src}, select=["DET-001"])
+        assert report.clean
+
+
+class TestUnorderedIterationRule:
+    def test_set_literal_iteration_flagged(self):
+        src = "for node in {3, 1, 2}:\n    emit(node)\n"
+        report = lint_sources({"sim/trace.py": src}, select=["DET-002"])
+        assert _hits(report, "DET-002") == [("DET-002", "sim/trace.py", 1)]
+
+    def test_set_call_in_comprehension_flagged(self):
+        src = "sends = [send(n) for n in set(receivers)]\n"
+        report = lint_sources({"workloads/burst.py": src}, select=["DET-002"])
+        assert _hits(report, "DET-002") == [("DET-002", "workloads/burst.py", 1)]
+
+    def test_set_algebra_result_flagged(self):
+        src = "for n in alive.union(joining):\n    schedule(n)\n"
+        report = lint_sources({"protocols/p.py": src}, select=["DET-002"])
+        assert _hits(report, "DET-002") == [("DET-002", "protocols/p.py", 1)]
+
+    def test_sorted_wrapper_satisfies_rule(self):
+        src = "for n in sorted(set(receivers)):\n    send(n)\n"
+        report = lint_sources({"workloads/burst.py": src}, select=["DET-002"])
+        assert report.clean
+
+    def test_membership_test_not_flagged(self):
+        # Only *iteration* is hash-order-sensitive; containment is fine.
+        src = "ok = node in {1, 2, 3}\n"
+        report = lint_sources({"sim/x.py": src}, select=["DET-002"])
+        assert report.clean
+
+    def test_outside_core_not_flagged(self):
+        src = "for n in {3, 1, 2}:\n    print(n)\n"
+        report = lint_sources({"harness/report.py": src}, select=["DET-002"])
+        assert report.clean
+
+    def test_severity_is_warning(self):
+        src = "for n in {1, 2}:\n    f(n)\n"
+        report = lint_sources({"sim/x.py": src}, select=["DET-002"])
+        assert report.findings[0].severity == "warning"
+        assert report.warning_count == 1 and report.error_count == 0
+        # Warnings still fail the run: the tree must lint *clean*.
+        assert not report.clean

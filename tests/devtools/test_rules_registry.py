@@ -1,0 +1,118 @@
+"""REG-001 fixtures: registration gaps, preset naming, builder contracts."""
+
+from repro.devtools import lint_sources
+
+
+def _hits(report):
+    return [(f.rule_id, f.path, f.line) for f in report.findings if f.rule_id == "REG-001"]
+
+
+REGISTRY_SRC = (
+    "PROTOCOL_FACTORIES = {\n"
+    "    'Greedy': GreedyProtocol,\n"
+    "}\n"
+)
+
+
+class TestProtocolRegistration:
+    def test_unregistered_concrete_protocol_flagged(self):
+        sources = {
+            "protocols/registry.py": REGISTRY_SRC,
+            "protocols/fancy.py": (
+                "class GreedyProtocol:\n    pass\n\n\n"
+                "class FancyProtocol:\n    pass\n"
+            ),
+        }
+        report = lint_sources(sources, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "protocols/fancy.py", 5)]
+
+    def test_intermediate_base_exempt(self):
+        sources = {
+            "protocols/registry.py": REGISTRY_SRC,
+            "protocols/base.py": (
+                "class ScoredForwardingProtocol:\n    pass\n\n\n"
+                "class GreedyProtocol(ScoredForwardingProtocol):\n    pass\n"
+            ),
+        }
+        report = lint_sources(sources, select=["REG-001"])
+        assert report.clean
+
+    def test_without_registry_module_no_protocol_check(self):
+        # Linting a lone file must not demand the whole project's registry.
+        sources = {"protocols/fancy.py": "class FancyProtocol:\n    pass\n"}
+        report = lint_sources(sources, select=["REG-001"])
+        assert report.clean
+
+
+class TestWorkloadRegistration:
+    def test_unregistered_workload_subclass_flagged(self):
+        src = (
+            "class Workload:\n    pass\n\n\n"
+            "class BurstWorkload(Workload):\n    pass\n"
+        )
+        report = lint_sources({"workloads/burst.py": src}, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "workloads/burst.py", 5)]
+
+    def test_registered_workload_clean(self):
+        src = (
+            "class Workload:\n    pass\n\n\n"
+            "@register_workload('burst')\n"
+            "class BurstWorkload(Workload):\n    pass\n"
+        )
+        report = lint_sources({"workloads/burst.py": src}, select=["REG-001"])
+        assert report.clean
+
+    def test_registered_non_workload_flagged(self):
+        src = "@register_workload('odd')\nclass OddThing:\n    pass\n"
+        report = lint_sources({"workloads/odd.py": src}, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "workloads/odd.py", 2)]
+
+    def test_transitive_subclass_detected(self):
+        src = (
+            "class Workload:\n    pass\n\n\n"
+            "class PeriodicWorkload(Workload):\n    pass\n\n\n"
+            "class BeaconWorkload(PeriodicWorkload):\n    pass\n"
+        )
+        report = lint_sources({"workloads/beacon.py": src}, select=["REG-001"])
+        # Only the leaf is flagged; PeriodicWorkload is an intermediate base.
+        assert _hits(report) == [("REG-001", "workloads/beacon.py", 9)]
+
+
+class TestPresetNamingAndBuilders:
+    def test_non_kebab_preset_name_flagged(self):
+        src = "register_workload_preset('Safety_Beacon', make, 'desc', 'beacon')\n"
+        report = lint_sources({"workloads/presets.py": src}, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "workloads/presets.py", 1)]
+
+    def test_kebab_preset_name_clean(self):
+        src = "register_radio_preset('dsrc-urban-nlos', build, 'desc')\n"
+        report = lint_sources({"radio/presets.py": src}, select=["REG-001"])
+        assert report.clean
+
+    def test_scenario_builder_wrong_arity_flagged(self):
+        src = "@register_scenario('highway')\ndef build(scenario):\n    pass\n"
+        report = lint_sources({"harness/scenarios.py": src}, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "harness/scenarios.py", 2)]
+
+    def test_scenario_builder_contract_clean(self):
+        src = "@register_scenario('highway')\ndef build(scenario, rng):\n    pass\n"
+        report = lint_sources({"harness/scenarios.py": src}, select=["REG-001"])
+        assert report.clean
+
+    def test_radio_builder_missing_rng_first_flagged(self):
+        src = "@register_radio('disk')\ndef build(range_m, rng=None):\n    pass\n"
+        report = lint_sources({"radio/registry.py": src}, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "radio/registry.py", 2)]
+
+    def test_radio_builder_undefaulted_extra_flagged(self):
+        src = "@register_radio('disk')\ndef build(rng, range_m):\n    pass\n"
+        report = lint_sources({"radio/registry.py": src}, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "radio/registry.py", 2)]
+
+    def test_radio_builder_contract_clean(self):
+        src = (
+            "@register_radio('disk')\n"
+            "def build(rng, range_m=250.0, *, tx_power_dbm=20.0):\n    pass\n"
+        )
+        report = lint_sources({"radio/registry.py": src}, select=["REG-001"])
+        assert report.clean

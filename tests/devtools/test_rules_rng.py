@@ -1,0 +1,71 @@
+"""RNG-001 fixtures: exact (rule-id, line) assertions plus suppression."""
+
+from repro.devtools import lint_sources
+
+
+def _hits(report, rule_id="RNG-001"):
+    return [(f.rule_id, f.path, f.line) for f in report.findings if f.rule_id == rule_id]
+
+
+class TestSeededRngRule:
+    def test_fixed_seed_fallback_flagged(self):
+        src = "import random\n\nrng = random.Random(0)\n"
+        report = lint_sources({"mobility/model.py": src}, select=["RNG-001"])
+        assert _hits(report) == [("RNG-001", "mobility/model.py", 3)]
+
+    def test_unseeded_random_flagged(self):
+        src = "import random\nrng = random.Random()\n"
+        report = lint_sources({"protocols/p.py": src}, select=["RNG-001"])
+        assert _hits(report) == [("RNG-001", "protocols/p.py", 2)]
+
+    def test_system_random_flagged(self):
+        src = "import random\nrng = random.SystemRandom()\n"
+        report = lint_sources({"sim/x.py": src}, select=["RNG-001"])
+        assert _hits(report) == [("RNG-001", "sim/x.py", 2)]
+
+    def test_module_global_draw_flagged(self):
+        src = "import random\n\n\nvalue = random.uniform(0.0, 1.0)\n"
+        report = lint_sources({"workloads/w.py": src}, select=["RNG-001"])
+        assert _hits(report) == [("RNG-001", "workloads/w.py", 4)]
+
+    def test_numpy_random_flagged_through_alias(self):
+        src = "import numpy as np\nnp.random.seed(3)\nx = np.random.rand(4)\n"
+        report = lint_sources({"radio/r.py": src}, select=["RNG-001"])
+        assert _hits(report) == [
+            ("RNG-001", "radio/r.py", 2),
+            ("RNG-001", "radio/r.py", 3),
+        ]
+
+    def test_variable_seed_allowed(self):
+        # Threading an explicit seed parameter is the sanctioned spelling.
+        src = "import random\n\ndef make(seed):\n    return random.Random(seed)\n"
+        report = lint_sources({"mobility/generator.py": src}, select=["RNG-001"])
+        assert report.clean
+
+    def test_instance_draws_allowed(self):
+        # rng.uniform on a local instance resolves to no qualified name.
+        src = "def leg(rng):\n    return rng.uniform(0.0, 1.0)\n"
+        report = lint_sources({"mobility/m.py": src}, select=["RNG-001"])
+        assert report.clean
+
+    def test_stream_factory_module_exempt(self):
+        src = "import random\n\nrng = random.Random(123)\n"
+        report = lint_sources({"sim/rng.py": src}, select=["RNG-001"])
+        assert report.clean
+
+    def test_pragma_suppresses_with_reason(self):
+        src = (
+            "import random\n"
+            "rng = random.Random(0)  # repro-lint: ok RNG-001 -- listing only\n"
+        )
+        report = lint_sources({"radio/registry.py": src}, select=["RNG-001"])
+        assert report.clean
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        src = (
+            "import random\n"
+            "# repro-lint: ok RNG-001 -- wrong line\n"
+            "rng = random.Random(0)\n"
+        )
+        report = lint_sources({"radio/registry.py": src}, select=["RNG-001"])
+        assert _hits(report) == [("RNG-001", "radio/registry.py", 3)]

@@ -19,7 +19,10 @@ from repro.mobility.random_waypoint import RandomWaypointConfig, RandomWaypointM
 
 class TestHighwayGeometry:
     def test_lane_direction_and_heading(self):
-        highway = HighwayMobility(HighwayConfig(lanes_per_direction=2, bidirectional=True))
+        highway = HighwayMobility(
+            HighwayConfig(lanes_per_direction=2, bidirectional=True),
+            rng=random.Random(1),
+        )
         assert highway.lane_direction(0) == 1
         assert highway.lane_direction(1) == 1
         assert highway.lane_direction(2) == -1
@@ -28,15 +31,19 @@ class TestHighwayGeometry:
 
     def test_lane_y_offsets_increase(self):
         config = HighwayConfig(lanes_per_direction=2, lane_width_m=3.5, median_width_m=10.0)
-        highway = HighwayMobility(config)
+        highway = HighwayMobility(config, rng=random.Random(1))
         ys = [highway.lane_y(lane) for lane in range(config.total_lanes)]
         assert ys == sorted(ys)
         assert ys[2] - ys[1] >= config.median_width_m
 
     def test_invalid_lane_rejected(self):
-        highway = HighwayMobility()
+        highway = HighwayMobility(rng=random.Random(1))
         with pytest.raises(ValueError):
             highway.add_vehicle(lane=99, progress=0.0)
+
+    def test_missing_rng_rejected(self):
+        with pytest.raises(ValueError, match="mobility"):
+            HighwayMobility()
 
 
 class TestHighwayDynamics:

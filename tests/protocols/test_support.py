@@ -1,5 +1,7 @@
 """Tests for the shared protocol machinery (beacons, discovery state, location, registry)."""
 
+import random
+
 import pytest
 
 from repro.geometry import Vec2
@@ -154,7 +156,9 @@ class TestLocationService:
         assert exact.position_of(nodes[0].node_id) == true_position
         rewound = stale.position_of(nodes[0].node_id)
         assert rewound.x == pytest.approx(true_position.x - 40.0)
-        noisy = LocationService(network, position_error_std_m=10.0)
+        noisy = LocationService(
+            network, position_error_std_m=10.0, rng=random.Random(7)
+        )
         assert noisy.position_of(nodes[0].node_id) != true_position
 
 
