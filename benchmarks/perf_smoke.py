@@ -1,0 +1,145 @@
+"""CI perf-smoke: a scaled-down beacon storm plus a results-schema check.
+
+Two guarantees, cheap enough for every pull request:
+
+1. **Backend equality still holds on the storm path.**  Runs the Part B
+   beacon storm from :mod:`benchmarks.bench_medium_scaling` at N=800
+   (same congested density, ~1/8 the population) through the grid and
+   vectorized backends and asserts byte-identical transmission and
+   collision counts.  This is the delivery-path invariant the full
+   benchmark pins at N=6400; the smoke cell catches regressions without
+   the multi-minute reference run.
+
+2. **The committed results file keeps its schema.**  Docs and CI quote
+   ``BENCH_medium_scaling.json`` by key; a benchmark refactor that
+   renames or drops fields would silently break them.  The check diffs
+   the committed payload against the schema this script expects.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.perf_smoke
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from benchmarks.bench_medium_scaling import (
+    RESULTS_JSON,
+    STORM_SCALE_VEHICLES,
+    run_storm_cell,
+)
+
+SMOKE_VEHICLES = 800
+
+#: Fields every storm row must carry (the JSON contract docs quote from).
+STORM_ROW_FIELDS = {
+    "vehicles",
+    "backend",
+    "radio",
+    "beacon_hz",
+    "wall_s",
+    "frames",
+    "frames_per_s",
+    "transmissions",
+    "collisions",
+}
+
+#: Fields every Part A scaling row must carry.
+SCALING_ROW_FIELDS = {
+    "vehicles",
+    "radio",
+    "frames",
+    "linear_s",
+    "grid_s",
+    "vectorized_s",
+    "linear_frames_per_s",
+    "grid_frames_per_s",
+    "vectorized_frames_per_s",
+    "grid_speedup",
+    "vectorized_speedup",
+    "tx_linear",
+    "tx_grid",
+    "tx_vectorized",
+}
+
+
+def smoke_storm(vehicles: int = SMOKE_VEHICLES) -> dict:
+    """Grid vs. vectorized at smoke scale; returns both rows on success."""
+    grid = run_storm_cell("grid", vehicles)
+    vectorized = run_storm_cell("vectorized", vehicles)
+    assert grid["transmissions"] == vectorized["transmissions"], (
+        grid["transmissions"],
+        vectorized["transmissions"],
+    )
+    assert grid["collisions"] == vectorized["collisions"], (
+        grid["collisions"],
+        vectorized["collisions"],
+    )
+    assert grid["frames"] > 0
+    return {"grid": grid, "vectorized": vectorized}
+
+
+def check_results_schema(path=RESULTS_JSON) -> dict:
+    """Validate the committed BENCH_medium_scaling.json against the contract."""
+    payload = json.loads(path.read_text())
+    missing = {"benchmark", "generated_by", "scaling", "storm", "storm_scale"} - set(
+        payload
+    )
+    assert not missing, f"results file missing top-level keys: {sorted(missing)}"
+    assert payload["benchmark"] == "medium_scaling"
+
+    assert payload["scaling"], "scaling section is empty"
+    for row in payload["scaling"]:
+        gap = SCALING_ROW_FIELDS - set(row)
+        assert not gap, f"scaling row missing fields: {sorted(gap)}"
+
+    storm = payload["storm"]
+    for backend in ("grid", "vectorized"):
+        assert backend in storm, f"storm section missing {backend!r} row"
+        gap = STORM_ROW_FIELDS - set(storm[backend])
+        assert not gap, f"storm {backend} row missing fields: {sorted(gap)}"
+    assert "speedup" in storm
+    # The recorded headline cell must itself satisfy backend equality.
+    assert (
+        storm["grid"]["transmissions"] == storm["vectorized"]["transmissions"]
+    ), "recorded storm rows disagree on transmissions"
+    assert (
+        storm["grid"]["collisions"] == storm["vectorized"]["collisions"]
+    ), "recorded storm rows disagree on collisions"
+    if "linear" in storm:
+        assert (
+            storm["linear"]["transmissions"] == storm["vectorized"]["transmissions"]
+        ), "recorded linear storm row disagrees on transmissions"
+        assert (
+            storm["linear"]["collisions"] == storm["vectorized"]["collisions"]
+        ), "recorded linear storm row disagrees on collisions"
+
+    scale_rows = payload["storm_scale"]
+    assert scale_rows, "storm_scale section is empty"
+    for row in scale_rows:
+        gap = STORM_ROW_FIELDS - set(row)
+        assert not gap, f"storm_scale row missing fields: {sorted(gap)}"
+    assert any(
+        row["vehicles"] == STORM_SCALE_VEHICLES for row in scale_rows
+    ), f"no storm_scale row at N={STORM_SCALE_VEHICLES}"
+    return payload
+
+
+def main() -> int:
+    rows = smoke_storm()
+    grid, vectorized = rows["grid"], rows["vectorized"]
+    print(
+        f"storm smoke N={SMOKE_VEHICLES}: "
+        f"grid {grid['wall_s']:.2f}s / vectorized {vectorized['wall_s']:.2f}s, "
+        f"tx={grid['transmissions']} collisions={grid['collisions']} "
+        f"(byte-identical)"
+    )
+    check_results_schema()
+    print(f"{RESULTS_JSON.name} schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

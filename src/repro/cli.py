@@ -318,8 +318,20 @@ def _command_run(args: argparse.Namespace) -> int:
     if scenario.radio_stack and not _check_radios([scenario.radio_stack]):
         return 2
     runner = ExperimentRunner()
+    profiler = None
+    if getattr(args, "profile", None) is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
-        result = runner.run(scenario, args.protocol)
+        if profiler is not None:
+            profiler.enable()
+            try:
+                result = runner.run(scenario, args.protocol)
+            finally:
+                profiler.disable()
+        else:
+            result = runner.run(scenario, args.protocol)
     except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -327,6 +339,17 @@ def _command_run(args: argparse.Namespace) -> int:
     print(format_table(rows, title=f"{args.protocol} on {scenario.name}"))
     if args.csv:
         rows_to_csv(args.csv, rows)
+    if profiler is not None:
+        import pstats
+
+        if args.profile == "-":
+            # Cumulative top 25 covers the engine -> medium -> radio chain;
+            # deeper analysis wants the FILE form and a pstats browser.
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(25)
+        else:
+            profiler.dump_stats(args.profile)
+            print(f"profile written to {args.profile}", file=sys.stderr)
     return 0
 
 
@@ -485,6 +508,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one protocol through one scenario")
     run_parser.add_argument("protocol", help="protocol name (see the 'protocols' subcommand)")
     _add_scenario_arguments(run_parser)
+    run_parser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="FILE",
+        help="profile the run under cProfile; with FILE, dump pstats data "
+        "there (for snakeviz/pstats), otherwise print the hottest functions",
+    )
     run_parser.set_defaults(func=_command_run)
 
     compare_parser = subparsers.add_parser(

@@ -9,10 +9,11 @@ from __future__ import annotations
 
 from repro.devtools.rules import (  # noqa: F401  (imported for registration)
     bitexact,
+    cow,
     determinism,
     meta,
     registry_contract,
     rng,
 )
 
-__all__ = ["bitexact", "determinism", "meta", "registry_contract", "rng"]
+__all__ = ["bitexact", "cow", "determinism", "meta", "registry_contract", "rng"]

@@ -211,9 +211,23 @@ class ExperimentRunner:
         self.trace_max_records = trace_max_records
 
     # ------------------------------------------------------------------ build
-    def build(self, scenario: Scenario) -> BuiltScenario:
-        """Instantiate the mobility, radio, network and infrastructure of a scenario."""
+    def build(self, scenario: Scenario, prebuilt=None) -> BuiltScenario:
+        """Instantiate the mobility, radio, network and infrastructure of a scenario.
+
+        ``prebuilt`` is an optional
+        :class:`~repro.harness.shared_build.PrebuiltMobility`: a staged
+        mobility substrate (plus its post-build ``"mobility"`` stream)
+        mapped out of a sweep's shared-memory arena.  Supplying it skips
+        the mobility build entirely; everything downstream is byte-exact
+        with a monolithic build because the adopted stream continues from
+        the same state and the staged objects carry the same floats.
+        """
         sim = Simulator(seed=scenario.seed)
+        if prebuilt is not None:
+            # Must precede any stream("mobility") call: the staged stream
+            # already advanced through the build, and consumers must see it
+            # (not a fresh derivation that would replay the build draws).
+            sim.rng.adopt("mobility", prebuilt.mobility_rng)
         stats = StatsCollector()
         trace = EventTrace(enabled=self.trace_enabled, max_records=self.trace_max_records)
         # The radio stack is resolved through the radio registry
@@ -231,7 +245,10 @@ class ExperimentRunner:
         # The scenario kind is resolved through the scenario registry
         # (repro.harness.scenarios); every builder draws its stochastic
         # choices from the simulator's "mobility" stream.
-        built_mobility = build_mobility(scenario, sim.rng.stream("mobility"))
+        if prebuilt is not None:
+            built_mobility = prebuilt.built
+        else:
+            built_mobility = build_mobility(scenario, sim.rng.stream("mobility"))
         mobility = built_mobility.mobility
         road_graph = built_mobility.road_graph
         network = Network(
@@ -265,6 +282,24 @@ class ExperimentRunner:
                     for vehicle, node in zip(mobility.vehicles, vehicle_nodes)
                 },
             )
+        if (
+            prebuilt is not None
+            and prebuilt.columns is not None
+            and medium.position_store is not None
+        ):
+            # Splat the staged time-zero columns (mapped straight out of the
+            # shared segment) over the vehicles' rows.  Registration already
+            # pulled identical floats row by row, so this is bitwise a no-op
+            # -- it exercises the zero-copy path and pins its alignment.
+            store = medium.position_store
+            if prebuilt.columns[0].shape[0] != len(vehicle_nodes):
+                raise ValueError(
+                    "staged mobility columns cover "
+                    f"{prebuilt.columns[0].shape[0]} vehicles but the build "
+                    f"registered {len(vehicle_nodes)}"
+                )
+            rows = store.rows_for(node.node_id for node in vehicle_nodes)
+            store.load_columns(rows, *prebuilt.columns)
         return BuiltScenario(
             scenario,
             sim,
@@ -283,6 +318,7 @@ class ExperimentRunner:
         scenario: Scenario,
         protocol_name: str,
         protocol_config: Optional[ProtocolConfig] = None,
+        prebuilt=None,
     ) -> RunResult:
         """Run ``protocol_name`` through ``scenario`` and return the metrics.
 
@@ -290,9 +326,10 @@ class ExperimentRunner:
         default reproduces the classic ``FlowSpec`` unicast flows, while any
         other registered kind or preset (``safety-beacon``, ``v2i``, ...)
         schedules its own traffic shape through the same protocol API.
+        ``prebuilt`` forwards a staged mobility substrate to :meth:`build`.
         """
         started_wall = time.perf_counter()
-        built = self.build(scenario)
+        built = self.build(scenario, prebuilt=prebuilt)
         location_service = LocationService(
             built.network, rng=built.sim.rng.stream("location")
         )

@@ -1,0 +1,307 @@
+"""Shared-memory staging of built mobility for parallel sweeps.
+
+A sweep matrix multiplies one scenario by protocols, workloads, radios,
+backends and seeds -- yet every cell sharing a (scenario core, seed) pair
+rebuilds the *identical* mobility substrate from scratch in its worker
+process: road graph, vehicle placement, desired speeds, all of it.  For
+city-scale scenarios that build dwarfs the pickled cell description the
+pool ships.
+
+This module stages each distinct build exactly once in the parent and
+publishes it through :mod:`multiprocessing.shared_memory`:
+
+* :func:`mobility_build_key` -- the canonical "scenario core" key: every
+  field that cannot influence :func:`~repro.harness.scenarios.build_mobility`
+  (protocol, workload, radio, backend, naming, traffic shims) is neutralised,
+  so cells differing only along those axes share one staged build.  The seed
+  stays in the key: different seeds are different substrates.
+* :class:`MobilityArena` -- parent-side staging.  Per distinct key it derives
+  the ``"mobility"`` stream exactly as ``Simulator`` would, runs the build,
+  and writes one shared segment: a small header, the pickled
+  ``(BuiltMobility, mobility_rng)`` pair (one dump, so the model's internal
+  rng references survive), and 8-byte-aligned float64 time-zero columns
+  (``xs | ys | vxs | vys`` in vehicle order) for the vectorized backend's
+  :meth:`~repro.sim.position_store.PositionStore.load_columns`.
+* :func:`load_prebuilt` -- worker-side mapping.  Attaches the segment once
+  per process (cached), unpickles a *fresh* model per cell (cells must not
+  share mutable state), and wraps the column region in read-only numpy views
+  -- the raw bytes are never copied out of the segment.
+* :class:`StagedCell` / :func:`run_staged_cell` -- the picklable cell
+  wrapper and pool worker the sweep layer fans out.
+
+Byte-equality: the staged rng is the same stream object the build advanced,
+adopted into the worker's ``RandomStreams`` under ``"mobility"`` before
+first use -- so every post-build draw continues exactly where a monolithic
+build would.  The staged columns hold the same floats the registration pull
+writes, so loading them is bitwise a no-op.  Serial and parallel staged
+sweeps therefore reproduce the unstaged sweep record for record.
+
+Lifecycle: the parent unlinks every segment in ``finally``; workers that
+attach must immediately detach the segment from their resource tracker
+(Python 3.11 registers shared memory on *attach* as well as create, and
+would otherwise unlink the parent's segment when the worker exits).  If the
+parent itself dies before unlinking, its own resource tracker reaps the
+leaked segments -- crashes do not strand ``/dev/shm`` entries.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.harness.scenario import FlowSpec, RadioConfig, Scenario
+from repro.harness.scenarios import BuiltMobility, build_mobility
+from repro.sim.rng import RandomStreams
+
+try:  # pragma: no cover - always present on CPython >= 3.8
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+try:  # numpy is optional: grid-backend sweeps stage without columns
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+#: Segment layout: ``(payload_length, column_rows)`` header, then the pickle
+#: payload, then (8-byte aligned) four float64 columns of ``column_rows``.
+_HEADER = struct.Struct("<QQ")
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def mobility_build_key(scenario: Scenario) -> str:
+    """Canonical key of the mobility substrate a scenario builds.
+
+    Neutralises every field :func:`~repro.harness.scenarios.build_mobility`
+    cannot observe (verified: no scenario builder reads them), so sweep
+    cells that differ only by protocol, workload, radio, spatial backend,
+    bus designation, traffic shims or report naming map to the same staged
+    build.  Everything else -- kind, density, geometry configs,
+    ``max_vehicles``, ``rsu_spacing_m``, ``mobility_step_s`` and crucially
+    the ``seed`` -- stays in the key via the dataclass ``repr``.
+    """
+    core = replace(
+        scenario,
+        name="",
+        workload="cbr",
+        workload_params={},
+        radio_stack=None,
+        radio_params={},
+        radio=RadioConfig(),
+        spatial_backend="grid",
+        bus_count=0,
+        flows=[],
+        default_flow_count=0,
+        flow_template=FlowSpec(),
+    )
+    return repr(core)
+
+
+@dataclass(frozen=True)
+class ArenaTicket:
+    """Picklable pointer to one staged build inside a shared segment."""
+
+    shm_name: str
+    rows: int
+    columns_offset: int
+
+
+class PrebuiltMobility:
+    """One cell's private copy of a staged build (worker side).
+
+    ``built`` and ``mobility_rng`` come out of a single pickle load, so the
+    rng the mobility model captured internally and this top-level handle are
+    the same object -- exactly the aliasing the monolithic build produces.
+    ``columns`` is ``(xs, ys, vxs, vys)`` read-only views into the shared
+    segment (``None`` when numpy is unavailable).
+    """
+
+    __slots__ = ("built", "mobility_rng", "columns")
+
+    def __init__(self, built: BuiltMobility, mobility_rng, columns) -> None:
+        self.built = built
+        self.mobility_rng = mobility_rng
+        self.columns = columns
+
+
+class MobilityArena:
+    """Parent-side staging area: one shared segment per distinct build."""
+
+    def __init__(self) -> None:
+        if shared_memory is None:  # pragma: no cover - CPython always has it
+            raise RuntimeError(
+                "shared-memory staging requires multiprocessing.shared_memory"
+            )
+        self._segments: Dict[str, Tuple["shared_memory.SharedMemory", ArenaTicket]] = {}
+
+    def stage(self, scenario: Scenario) -> ArenaTicket:
+        """Build (once) and publish the scenario's mobility substrate."""
+        key = mobility_build_key(scenario)
+        entry = self._segments.get(key)
+        if entry is not None:
+            return entry[1]
+        # Identical derivation to Simulator(seed).rng.stream("mobility"):
+        # streams are independent of creation order, so building here leaves
+        # the worker's other streams ("radio", "traffic", ...) untouched.
+        rng = RandomStreams(scenario.seed).stream("mobility")
+        built = build_mobility(scenario, rng)
+        payload = pickle.dumps((built, rng), protocol=pickle.HIGHEST_PROTOCOL)
+        states = list(built.mobility.vehicles)
+        rows = len(states) if np is not None else 0
+        columns_offset = _align8(_HEADER.size + len(payload))
+        total = columns_offset + 4 * rows * 8
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        try:
+            _HEADER.pack_into(shm.buf, 0, len(payload), rows)
+            shm.buf[_HEADER.size : _HEADER.size + len(payload)] = payload
+            if rows:
+                # Time-zero kinematic columns in vehicle (= registration)
+                # order: the very floats the runner's registration pull
+                # writes into a worker's PositionStore.
+                for index, values in enumerate(
+                    (
+                        [s.position.x for s in states],
+                        [s.position.y for s in states],
+                        [s.velocity.x for s in states],
+                        [s.velocity.y for s in states],
+                    )
+                ):
+                    column = np.frombuffer(
+                        shm.buf,
+                        dtype=np.float64,
+                        count=rows,
+                        offset=columns_offset + index * rows * 8,
+                    )
+                    column[:] = values
+                    del column  # release the buffer export before close()
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        ticket = ArenaTicket(shm.name, rows, columns_offset)
+        _TRACKER_SHARED.add(shm.name)
+        self._segments[key] = (shm, ticket)
+        return ticket
+
+    def close(self) -> None:
+        """Unlink every staged segment (idempotent)."""
+        for shm, _ in self._segments.values():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - live exports keep it open
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+            _TRACKER_SHARED.discard(shm.name)
+        self._segments.clear()
+
+    def __enter__(self) -> "MobilityArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: Worker-process cache of attached segments: one attach per segment per
+#: process, however many cells map it.
+_ATTACHED: Dict[str, "shared_memory.SharedMemory"] = {}
+
+#: Segments created by an arena whose tracker this process shares.  A
+#: serial sweep attaches in the creating process itself, and fork-context
+#: workers inherit both this set and the parent's resource-tracker
+#: connection -- in both cases the attach-time registration is idempotent
+#: (the tracker cache is a set) and must NOT be unregistered, or the
+#: parent's own unlink bookkeeping breaks.  Spawn-context workers
+#: re-import this module (empty set) and run their *own* tracker, where
+#: the attach registration must be dropped or the worker's exit would
+#: unlink the parent's live segment.
+_TRACKER_SHARED: set = set()
+
+
+def _attach(shm_name: str) -> "shared_memory.SharedMemory":
+    shm = _ATTACHED.get(shm_name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=shm_name)
+        if shm_name not in _TRACKER_SHARED:
+            try:
+                # CPython 3.8+ registers shared memory with the resource
+                # tracker on attach as well as create; in a process with its
+                # own tracker that registration would unlink the parent's
+                # segment when this worker exits.  The parent owns the
+                # lifecycle, so detach.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker impl variance
+                pass
+        _ATTACHED[shm_name] = shm
+    return shm
+
+
+def detach_all() -> None:
+    """Close this process's cached attachments (sweep teardown)."""
+    for shm in _ATTACHED.values():
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a view still references it
+            pass
+    _ATTACHED.clear()
+
+
+def load_prebuilt(ticket: ArenaTicket) -> PrebuiltMobility:
+    """Map a staged build: fresh model per call, zero-copy column views."""
+    shm = _attach(ticket.shm_name)
+    buf = shm.buf
+    payload_length, rows = _HEADER.unpack_from(buf, 0)
+    built, rng = pickle.loads(
+        bytes(buf[_HEADER.size : _HEADER.size + payload_length])
+    )
+    columns = None
+    if rows and np is not None:
+        views = []
+        for index in range(4):
+            view = np.frombuffer(
+                buf,
+                dtype=np.float64,
+                count=rows,
+                offset=ticket.columns_offset + index * rows * 8,
+            )
+            view.setflags(write=False)
+            views.append(view)
+        columns = tuple(views)
+    return PrebuiltMobility(built, rng, columns)
+
+
+@dataclass(frozen=True)
+class StagedCell:
+    """A sweep cell plus the ticket of its staged mobility build."""
+
+    cell: "object"  # repro.harness.sweep.SweepCell (untyped: no import cycle)
+    ticket: ArenaTicket
+
+
+def run_staged_cell(staged: StagedCell) -> RunRecord:
+    """Pool worker: run one cell against its staged mobility build.
+
+    Module-level (picklable) twin of :func:`repro.harness.sweep.run_cell`;
+    the only difference is that the runner adopts the staged build instead
+    of rebuilding mobility, which the byte-equality suite pins as
+    record-identical.
+    """
+    cell = staged.cell
+    runner = ExperimentRunner()
+    result = runner.run(
+        cell.scenario,
+        cell.protocol,
+        protocol_config=cell.protocol_config,
+        prebuilt=load_prebuilt(staged.ticket),
+    )
+    return result.to_record()

@@ -395,6 +395,7 @@ def sweep_replications(
     workloads: Optional[Sequence[str]] = None,
     radios: Optional[Sequence[str]] = None,
     spatial_backends: Optional[Sequence[str]] = None,
+    shared_mobility: bool = False,
 ) -> SweepResult:
     """Run the scenario x protocol x workload x radio x seed matrix.
 
@@ -405,6 +406,13 @@ def sweep_replications(
     workload axis, ``radios`` the radio axis and ``spatial_backends`` the
     medium-backend axis; omitted, every cell keeps the scenario's own
     workload / radio stack / spatial backend.
+
+    ``shared_mobility=True`` stages each distinct mobility build once in
+    this process and publishes it through a shared-memory arena (see
+    :mod:`repro.harness.shared_build`): workers map the staged substrate
+    instead of rebuilding it per cell, which cuts per-cell setup to one
+    pickle load while keeping the records byte-identical (pinned by the
+    staged-equality suite).  The arena lives exactly as long as the sweep.
     """
     cells = build_matrix(
         scenarios,
@@ -415,7 +423,24 @@ def sweep_replications(
         radios,
         spatial_backends,
     )
-    records = execute_cells(cells, run_cell, workers=workers)
+    if shared_mobility:
+        from repro.harness import shared_build
+
+        with shared_build.MobilityArena() as arena:
+            try:
+                staged = [
+                    shared_build.StagedCell(cell, arena.stage(cell.scenario))
+                    for cell in cells
+                ]
+                records = execute_cells(
+                    staged, shared_build.run_staged_cell, workers=workers
+                )
+            finally:
+                # Serial runs attach in *this* process; drop those mappings
+                # with the arena (worker processes die with the pool).
+                shared_build.detach_all()
+    else:
+        records = execute_cells(cells, run_cell, workers=workers)
     return SweepResult(records=records, replicated=aggregate_records(records))
 
 

@@ -45,6 +45,11 @@ class RoutingProtocol(ABC):
     protocol_name: str = "base"
     #: Taxonomy category; set by the ``@register_protocol`` decorator.
     category: Optional[Category] = None
+    #: Set True when the protocol mutates *received* packets in place
+    #: (rather than forwarding a copy).  Opts the node out of copy-on-write
+    #: frame delivery: the medium hands it full packet copies instead of
+    #: shared views (see :meth:`repro.sim.packet.Packet.view`).
+    mutates_in_flight: bool = False
 
     def __init__(
         self,

@@ -29,7 +29,12 @@ from abc import ABC, abstractmethod
 from typing import Optional
 
 from repro.geometry import Vec2
-from repro.radio.interference import NO_SIGNAL_DBM, dbm_to_mw, mw_to_dbm
+from repro.radio.interference import (
+    NO_SIGNAL_DBM,
+    dbm_to_mw,
+    dbm_to_mw_batch,
+    mw_to_dbm,
+)
 
 #: Speed of light (m/s), used to derive the carrier wavelength.
 SPEED_OF_LIGHT = 299_792_458.0
@@ -98,6 +103,30 @@ class PropagationModel(ABC):
             count=len(distances),
         )
 
+    def rx_power_mw_batch(self, tx_power_dbm: float, distances):
+        """Received powers in *milliwatts* for a float64 array of distances.
+
+        Interference folding works in linear units, so the vectorized medium
+        sums these directly.  The default is the dBm batch pushed through the
+        exact conversion (bit-identical to converting element by element);
+        models whose in-range power is a single level (:class:`UnitDisk\\
+        Propagation`) override it to skip the per-element libm ``pow`` calls.
+        """
+        return dbm_to_mw_batch(self.rx_power_dbm_batch(tx_power_dbm, distances))
+
+    def constant_rx_profile(self, tx_power_dbm: float):
+        """``(rx_power_mw, cutoff_m)`` when reception is one constant level
+        inside a disk and exactly zero outside, else ``None``.
+
+        The vectorized medium uses this to collapse an interference fold
+        over k same-power transmitters into a table lookup: every receiver's
+        linear-domain sum is the sequential sum of ``count`` copies of
+        ``rx_power_mw`` (zero contributions are exact no-ops in IEEE-754),
+        so only the in-range *count* matters.  Models with any distance
+        dependence inside the disk must return ``None``.
+        """
+        return None
+
     def nominal_range(self, tx_power_dbm: float, sensitivity_dbm: float) -> float:
         """Distance at which the *mean* received power equals the sensitivity.
 
@@ -163,6 +192,26 @@ class UnitDiskPropagation(PropagationModel):
             float(tx_power_dbm),
             NO_SIGNAL_DBM,
         )
+
+    def rx_power_mw_batch(self, tx_power_dbm: float, distances):
+        """Disk test straight to mW: one scalar conversion, no per-element pow.
+
+        ``dbm_to_mw`` is the same libm ``pow`` the batch conversion applies
+        per element, evaluated once and broadcast -- identical bits wherever
+        the disk test passes, exact 0.0 elsewhere.
+        """
+        from repro.sim.position_store import require_numpy
+
+        np = require_numpy("rx_power_mw_batch")
+        return np.where(
+            np.asarray(distances, dtype=np.float64) <= self.communication_range,
+            dbm_to_mw(float(tx_power_dbm)),
+            0.0,
+        )
+
+    def constant_rx_profile(self, tx_power_dbm: float):
+        """One in-disk power level: exactly what the count-fold needs."""
+        return (dbm_to_mw(float(tx_power_dbm)), self.communication_range)
 
     def mean_rx_power_dbm(self, tx_power_dbm: float, distance: float) -> float:
         """Transmit power inside the disk, no signal outside."""

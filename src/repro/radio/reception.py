@@ -13,9 +13,7 @@ from repro.radio.interference import (
     NO_SIGNAL_DBM,
     combine_dbm,
     dbm_to_mw,
-    dbm_to_mw_batch,
     mw_to_dbm,
-    mw_to_dbm_batch,
 )
 
 #: Thermal noise floor for a 10 MHz DSRC channel plus a typical noise figure.
@@ -126,6 +124,15 @@ class SnrThresholdReception(ReceptionModel):
     ) -> None:
         super().__init__(sensitivity_dbm, noise_floor_dbm)
         self.snr_threshold_db = snr_threshold_db
+        #: (noise_floor_dbm, quiet-channel dBm, noise mW) -- the two derived
+        #: constants :meth:`decide_batch` needs every call, recomputed only
+        #: if the noise floor is reassigned.
+        self._noise_cache = None
+        #: interference dBm -> noise-plus-interference dBm, memoised across
+        #: :meth:`decide_batch` calls (the distinct interference levels a
+        #: disk channel produces repeat frame after frame).  Reset with the
+        #: noise cache.
+        self._npi_memo = {}
 
     def decide(
         self,
@@ -144,13 +151,15 @@ class SnrThresholdReception(ReceptionModel):
     def decide_batch(self, rx_power_dbm, interference_dbm, rng=None):
         """Vectorized threshold test, bit-identical to :meth:`decide`.
 
-        The noise-plus-interference term is the one scalar constant
-        ``combine([noise, NO_SIGNAL])`` for interference-free elements (the
-        common case); elements with real interference get the same
-        noise-mW-plus-interference-mW sum :func:`combine_dbm` computes,
-        evaluated as array expressions (``sum`` starts from zero, and
-        ``0 + x == x`` exactly, so folding from the scalar noise term is
-        bit-identical).  The SINR subtraction and both comparisons are
+        The noise-plus-interference term depends only on the element's
+        interference level: ``combine([noise, NO_SIGNAL])`` for a quiet
+        channel, else the same noise-mW-plus-interference-mW round trip
+        :func:`combine_dbm` computes.  Both are pure scalar chains, so they
+        are evaluated once per *distinct* level and memoised across calls
+        (a disk channel produces the same handful of levels frame after
+        frame) -- applying the identical scalar chain to equal inputs is
+        bit-identical to evaluating it per element, whatever the
+        duplication pattern.  The SINR subtraction and both comparisons are
         exact in IEEE-754.
         """
         from repro.sim.position_store import require_numpy
@@ -158,16 +167,49 @@ class SnrThresholdReception(ReceptionModel):
         np = require_numpy("decide_batch")
         rx = np.asarray(rx_power_dbm, dtype=np.float64)
         interference = np.asarray(interference_dbm, dtype=np.float64)
-        quiet = combine_dbm([self.noise_floor_dbm, NO_SIGNAL_DBM])
-        noise_plus_interference = np.full(len(rx), quiet)
-        interfered = np.nonzero(interference != NO_SIGNAL_DBM)[0]
-        if len(interfered):
-            total_mw = dbm_to_mw(self.noise_floor_dbm) + dbm_to_mw_batch(
-                interference[interfered]
-            )
-            noise_plus_interference[interfered] = mw_to_dbm_batch(total_mw)
+        cache = self._noise_cache
+        if cache is None or cache[0] != self.noise_floor_dbm:
+            noise = self.noise_floor_dbm
+            cache = (noise, combine_dbm([noise, NO_SIGNAL_DBM]), dbm_to_mw(noise))
+            self._noise_cache = cache
+            self._npi_memo = {}
+        memo = self._npi_memo
+        size = interference.size
+        if size >= 16:
+            ordered = np.sort(interference)
+            distinct = np.empty(size, dtype=bool)
+            distinct[0] = True
+            np.not_equal(ordered[1:], ordered[:-1], out=distinct[1:])
+            unique = ordered[distinct]
+            npi_unique = np.empty(unique.size)
+            for index, level in enumerate(unique.tolist()):
+                value = memo.get(level)
+                if value is None:
+                    value = (
+                        cache[1]
+                        if level == NO_SIGNAL_DBM
+                        else mw_to_dbm(cache[2] + dbm_to_mw(level))
+                    )
+                    memo[level] = value
+                npi_unique[index] = value
+            noise_plus_interference = npi_unique[
+                np.searchsorted(unique, interference)
+            ]
+        else:
+            values = []
+            for level in interference.tolist():
+                value = memo.get(level)
+                if value is None:
+                    value = (
+                        cache[1]
+                        if level == NO_SIGNAL_DBM
+                        else mw_to_dbm(cache[2] + dbm_to_mw(level))
+                    )
+                    memo[level] = value
+                values.append(value)
+            noise_plus_interference = np.array(values, dtype=np.float64)
         sinr = rx - noise_plus_interference
-        codes = np.full(len(rx), BATCH_RECEIVED, dtype=np.int8)
+        codes = np.zeros(len(rx), dtype=np.int8)  # BATCH_RECEIVED everywhere...
         codes[sinr < self.snr_threshold_db] = BATCH_COLLISION
         codes[rx < self.sensitivity_dbm] = BATCH_WEAK_SIGNAL
         return codes

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional, Sequence
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import QUEUE_IMPLEMENTATIONS, Event
 from repro.sim.rng import RandomStreams
 
 
@@ -20,10 +20,23 @@ class Simulator:
         sim = Simulator(seed=7)
         sim.schedule(1.0, my_callback, "argument")
         sim.run(until=10.0)
+
+    ``queue_impl`` selects the event-queue implementation (``"calendar"``,
+    the default, or ``"heap"``, the original binary heap kept as a
+    determinism oracle).  Both produce byte-identical traces; the knob
+    exists so regression tests can pin that.
     """
 
-    def __init__(self, seed: int = 0) -> None:
-        self._queue = EventQueue()
+    def __init__(self, seed: int = 0, queue_impl: str = "calendar") -> None:
+        try:
+            queue_factory = QUEUE_IMPLEMENTATIONS[queue_impl]
+        except KeyError:
+            raise SimulationError(
+                f"unknown queue_impl {queue_impl!r} "
+                f"(choose from {sorted(QUEUE_IMPLEMENTATIONS)})"
+            ) from None
+        self._queue = queue_factory()
+        self.queue_impl = queue_impl
         self._now = 0.0
         self._running = False
         self._stopped = False
@@ -42,8 +55,17 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of events still pending, excluding cancelled ones.
+
+        Historically this counted cancelled events too, over-reporting in
+        progress/debug output; it is now an alias for :attr:`live_events`.
+        """
+        return self._queue.live_count
+
+    @property
+    def live_events(self) -> int:
+        """Number of pending events that will actually fire."""
+        return self._queue.live_count
 
     def schedule(
         self,
@@ -71,6 +93,42 @@ class Simulator:
             )
         return self._queue.push(time, callback, args, priority)
 
+    def schedule_many(
+        self,
+        items: Iterable[tuple[float, Callable[..., Any], tuple[Any, ...], int]],
+    ) -> list[Event]:
+        """Bulk variant of :meth:`schedule`.
+
+        ``items`` holds ``(delay, callback, args, priority)`` tuples; all
+        events are pushed in one queue call, in iteration order, so the
+        resulting trace is byte-identical to an equivalent loop of
+        :meth:`schedule` calls.
+        """
+        now = self._now
+        batch = []
+        for delay, callback, args, priority in items:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule an event in the past (delay={delay})"
+                )
+            batch.append((now + delay, callback, args, priority))
+        return self._queue.push_many(batch)
+
+    def schedule_at_many(
+        self,
+        items: Iterable[tuple[float, Callable[..., Any], tuple[Any, ...], int]],
+    ) -> list[Event]:
+        """Bulk variant of :meth:`schedule_at` (absolute times)."""
+        now = self._now
+        batch = []
+        for time, callback, args, priority in items:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule an event in the past (time={time}, now={now})"
+                )
+            batch.append((time, callback, args, priority))
+        return self._queue.push_many(batch)
+
     def schedule_periodic(
         self,
         interval: float,
@@ -96,6 +154,39 @@ class Simulator:
         task.start(first_delay)
         return task
 
+    def schedule_periodic_many(
+        self,
+        specs: Sequence[tuple[float, Callable[..., Any], tuple[Any, ...]]],
+        *,
+        start_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        rng_stream: str = "periodic-jitter",
+    ) -> list["PeriodicTask"]:
+        """Start a fleet of periodic tasks with one bulk queue insert.
+
+        ``specs`` holds ``(interval, callback, args)`` tuples sharing the
+        jitter configuration (the shape of per-node hello/beacon timers).
+        Jitter is drawn in spec order and events are pushed in spec order,
+        so the trace is byte-identical to an equivalent loop of
+        :meth:`schedule_periodic` calls.
+        """
+        tasks: list[PeriodicTask] = []
+        batch = []
+        now = self._now
+        for interval, callback, args in specs:
+            if interval <= 0:
+                raise SimulationError(
+                    f"periodic interval must be positive (got {interval})"
+                )
+            task = PeriodicTask(self, interval, callback, tuple(args), jitter, rng_stream)
+            first_delay = start_delay if start_delay is not None else interval
+            batch.append((now + task._initial_delay(first_delay), task._fire, (), 0))
+            tasks.append(task)
+        events = self._queue.push_many(batch)
+        for task, event in zip(tasks, events):
+            task._event = event
+        return tasks
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run the event loop.
 
@@ -112,25 +203,21 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
+        queue = self._queue
         try:
-            while self._queue and not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+            while not self._stopped:
+                # One queue traversal finds, checks and removes the next
+                # live event (the old peek-then-pop walked the front twice).
+                event = queue.pop_due(until)
+                if event is None:
+                    if until is not None:
+                        self._now = max(self._now, until)
                     break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = self._queue.pop()
-                if event.cancelled:
-                    continue
                 self._now = event.time
                 event.fire()
                 self._events_processed += 1
                 if max_events is not None and self._events_processed >= max_events:
                     break
-            else:
-                if until is not None and not self._stopped:
-                    self._now = max(self._now, until)
         finally:
             self._running = False
         return self._now
@@ -176,10 +263,13 @@ class PeriodicTask:
         The first firing gets a one-off phase offset in ``[0, jitter]``;
         subsequent periods use a centred draw (see :meth:`_fire`).
         """
+        self._event = self._sim.schedule(self._initial_delay(first_delay), self._fire)
+
+    def _initial_delay(self, first_delay: float) -> float:
         delay = max(0.0, first_delay)
         if self._jitter > 0:
             delay += self._rng.uniform(0.0, self._jitter)
-        self._event = self._sim.schedule(delay, self._fire)
+        return delay
 
     def cancel(self) -> None:
         """Stop the task; a pending firing is cancelled as well."""

@@ -36,11 +36,17 @@ scalar order.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.geometry import Vec2
-from repro.radio.interference import NO_SIGNAL_DBM, dbm_to_mw_batch, mw_to_dbm_batch
+from repro.radio.interference import (
+    NO_SIGNAL_DBM,
+    dbm_to_mw_batch,
+    mw_to_dbm,
+    mw_to_dbm_batch,
+)
 from repro.radio.propagation import PropagationModel
 from repro.radio.reception import (
     BATCH_COLLISION,
@@ -50,7 +56,7 @@ from repro.radio.reception import (
 )
 from repro.sim.engine import Simulator
 from repro.sim.packet import BROADCAST, Packet
-from repro.sim.spatial import make_spatial_index
+from repro.sim.spatial import UniformGridIndex, make_spatial_index
 from repro.sim.statistics import StatsCollector
 from repro.sim.trace import EventTrace
 
@@ -58,6 +64,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.radio.mac import MacConfig
     from repro.radio.stack import RadioStack
     from repro.sim.node import Node
+
+#: Default row-count threshold below which the vectorized completion hands
+#: frames to the scalar loop (see ``WirelessMedium.vectorized_min_rows``).
+#: Benchmarked: at N=100 (and marginally at N=400) the per-frame numpy
+#: dispatch overhead made "vectorized" slower than the scalar backends.
+VECTORIZED_MIN_ROWS = 512
 
 
 @dataclass
@@ -184,6 +196,22 @@ class WirelessMedium:
         self._row_seq_cache = None
         self._last_position_refresh = -float("inf")
         self._max_tx_power_dbm: Optional[float] = None
+        #: Pooled per-frame scratch arrays for `_complete_vectorized`
+        #: (two float64 buffers and one bool buffer, grown on demand);
+        #: reception at 10 Hz x N nodes would otherwise allocate four
+        #: store-sized arrays per frame.
+        self._frame_scratch_arrays = None
+        #: Row-order node list twin of ``_row_seq_cache`` (see
+        #: :meth:`_node_row_list`).
+        self._node_row_cache = None
+        #: contribution mW -> (dBm fold table, max count); see
+        #: :meth:`_fold_table`.
+        self._fold_tables: Dict[float, tuple] = {}
+        #: Below this many stored rows the vectorized completion routes to
+        #: the scalar loop: per-frame numpy dispatch overhead beats the
+        #: Python loop only once enough receivers amortize it, and the two
+        #: paths are bit-identical so dispatch is free to pick either.
+        self.vectorized_min_rows = VECTORIZED_MIN_ROWS
 
     def _default_cell_size(self) -> float:
         nominal = self.propagation.nominal_range(
@@ -291,8 +319,41 @@ class WirelessMedium:
         return [nodes[node_id] for node_id in ids]
 
     def _transmissions_near(self, position: Vec2, radius: float) -> List[ActiveTransmission]:
-        """Transmissions whose sender may be within ``radius``, in uid order."""
-        ids = self._tx_index.query_ids(position, radius)
+        """Transmissions whose sender may be within ``radius``, in uid order.
+
+        With only a handful of frames in flight (the common case: frames
+        overlap for one airtime) a direct scan of ``_transmissions`` beats
+        the grid query plus uid sort plus dict lookups.  The scan applies
+        the *same cell-granular membership test* as
+        :meth:`~repro.sim.spatial.UniformGridIndex.query_ids` -- not an
+        exact distance test -- so the returned set is identical to the
+        grid's whichever path runs (stochastic propagation models see the
+        same interferer supersets either way).  ``_transmissions`` is
+        append-ordered by uid and pruning preserves order, so the scan is
+        already uid-sorted.
+        """
+        transmissions = self._transmissions
+        index = self._tx_index
+        if len(transmissions) <= 32 and isinstance(index, UniformGridIndex):
+            reach = radius + index.slack_m
+            if not math.isfinite(reach):
+                return list(transmissions)
+            size = index.cell_size_m
+            floor = math.floor
+            cx_min = floor((position.x - reach) / size)
+            cx_max = floor((position.x + reach) / size)
+            cy_min = floor((position.y - reach) / size)
+            cy_max = floor((position.y + reach) / size)
+            result = []
+            for tx in transmissions:
+                sender = tx.sender_position
+                if (
+                    cx_min <= floor(sender.x / size) <= cx_max
+                    and cy_min <= floor(sender.y / size) <= cy_max
+                ):
+                    result.append(tx)
+            return result
+        ids = index.query_ids(position, radius)
         ids.sort()
         by_uid = self._tx_by_uid
         return [by_uid[uid] for uid in ids]
@@ -360,9 +421,20 @@ class WirelessMedium:
         return False
 
     def begin_transmission(
-        self, sender: "Node", packet: Packet, next_hop: int, duration: float
-    ) -> None:
-        """Put a frame on the air; reception is evaluated when it ends."""
+        self,
+        sender: "Node",
+        packet: Packet,
+        next_hop: int,
+        duration: float,
+        schedule_completion: bool = True,
+    ) -> tuple:
+        """Put a frame on the air; reception is evaluated when it ends.
+
+        Returns the frame's completion entry ``(delay, callback, args,
+        priority)``.  With ``schedule_completion=False`` the caller takes
+        over scheduling it -- the MAC batches the entry together with its
+        own transmission-done timer through ``Simulator.schedule_many``.
+        """
         now = self.sim.now
         self._tx_counter += 1
         transmission = ActiveTransmission(
@@ -384,18 +456,35 @@ class WirelessMedium:
         ):
             self._max_tx_power_dbm = sender.tx_power_dbm
         self.stats.transmission(packet)
-        self.trace.record(
-            now,
-            "tx",
-            sender.node_id,
-            ptype=packet.ptype,
-            protocol=packet.protocol,
-            next_hop=next_hop,
-            uid=packet.uid,
-        )
-        self.sim.schedule(duration, self._complete, transmission)
+        if self.trace.enabled:
+            self.trace.record(
+                now,
+                "tx",
+                sender.node_id,
+                ptype=packet.ptype,
+                protocol=packet.protocol,
+                next_hop=next_hop,
+                uid=packet.uid,
+            )
+        entry = (duration, self._complete, (transmission,), 0)
+        if schedule_completion:
+            self.sim.schedule(duration, self._complete, transmission)
+        return entry
 
     # ------------------------------------------------------------- completion
+    def _deliverable_frame(self, receiver: "Node", packet: Packet) -> Packet:
+        """Per-receiver frame instance: a COW view, or a full copy on opt-out.
+
+        This is the *only* sanctioned spot for per-receiver packet copying
+        on the delivery path (lint rule COW-001 pins that): receivers that
+        never mutate frames share the packet storage through a
+        :meth:`~repro.sim.packet.Packet.view`, and nodes whose protocol
+        declares ``mutates_in_flight`` get the old deep copy.
+        """
+        if receiver.cow_frames_ok:
+            return packet.view()
+        return packet.copy()
+
     def _complete(self, transmission: ActiveTransmission) -> None:
         if (
             self._vectorized
@@ -404,6 +493,7 @@ class WirelessMedium:
                 not self.interference.uses_contributions
                 or self.interference.additive_mw
             )
+            and self.position_store.size >= self.vectorized_min_rows
         ):
             self._complete_vectorized(transmission)
             return
@@ -463,7 +553,7 @@ class WirelessMedium:
                         uid=transmission.packet.uid,
                     )
                     node.deliver(
-                        transmission.packet.copy(),
+                        self._deliverable_frame(node, transmission.packet),
                         transmission.sender_id,
                         rx_power_dbm=rx_power,
                     )
@@ -485,6 +575,23 @@ class WirelessMedium:
                 sender.mac.notify_unicast_result(
                     transmission.packet, transmission.next_hop, unicast_delivered
                 )
+
+    def _node_row_list(self):
+        """Node objects in row order, cached across position writes.
+
+        The delivery loops map surviving rows to receivers once per frame;
+        a plain list index beats the ``row -> id -> node`` double lookup on
+        that path.  Invalidation piggybacks on ``structure_version`` (rows
+        are added or removed far more rarely than frames complete).
+        """
+        store = self.position_store
+        cache = self._node_row_cache
+        if cache is not None and cache[0] == store.structure_version:
+            return cache[1]
+        nodes = self._nodes
+        row_nodes = [nodes[node_id] for node_id in store.ids_view()]
+        self._node_row_cache = (store.structure_version, row_nodes)
+        return row_nodes
 
     def _row_seq_array(self):
         """``(seq-per-row, already-sorted)`` cached across position writes.
@@ -509,6 +616,31 @@ class WirelessMedium:
         is_sorted = bool(np.all(arr[1:] > arr[:-1])) if len(arr) > 1 else True
         self._row_seq_cache = (store.structure_version, arr, is_sorted)
         return arr, is_sorted
+
+    def _frame_scratch(self, count: int):
+        """Pooled per-frame work buffers, grown (never shrunk) on demand.
+
+        Returns ``count``-length views over two float64 buffers and one
+        bool buffer.  Safe to reuse across frames: every value is fully
+        overwritten before it is read, and nothing outlives the frame
+        (downstream consumers index them into fresh result arrays).
+        """
+        np = self._np
+        arrays = self._frame_scratch_arrays
+        if arrays is None or arrays[0].size < count:
+            capacity = max(64, count)
+            current = 0 if arrays is None else arrays[0].size
+            if current:
+                while current < capacity:
+                    current *= 2
+                capacity = current
+            arrays = (
+                np.empty(capacity),
+                np.empty(capacity),
+                np.empty(capacity, dtype=bool),
+            )
+            self._frame_scratch_arrays = arrays
+        return arrays[0][:count], arrays[1][:count], arrays[2][:count]
 
     def _complete_vectorized(self, transmission: ActiveTransmission) -> None:
         """Array-expression twin of the scalar :meth:`_complete` body.
@@ -552,22 +684,40 @@ class WirelessMedium:
         self._maybe_refresh_positions()
         sender_position = transmission.sender_position
         count = store.size
-        dx = store.xs[:count] - sender_position.x
-        dy = store.ys[:count] - sender_position.y
-        distances = np.sqrt(dx * dx + dy * dy)
-        keep = distances <= cutoff
+        dx, dy, keep = self._frame_scratch(count)
+        # In-place twins of `(xs-x)^2 + (ys-y)^2`: the same elementwise
+        # IEEE-754 ops, written into pooled buffers instead of fresh
+        # allocations per frame.
+        np.subtract(store.xs[:count], sender_position.x, out=dx)
+        np.subtract(store.ys[:count], sender_position.y, out=dy)
+        np.multiply(dx, dx, out=dx)
+        np.multiply(dy, dy, out=dy)
+        np.add(dx, dy, out=dx)
+        # Prefilter on *squared* distance so the sqrt only runs over the
+        # few in-range rows instead of the whole store.  `sqrt(d2) <= c`
+        # implies `d2 <= c*c` to within a couple of ulps, so widening the
+        # squared cutoff by 1e-12 relative makes the prefilter a strict
+        # superset; the exact per-candidate `sqrt(d2) <= c` test below then
+        # reproduces the scalar backends' membership bit for bit.
+        np.less_equal(dx, cutoff * cutoff * (1.0 + 1e-12), out=keep)
         if transmission.sender_id in store:
             keep[store.row_of(transmission.sender_id)] = False
-        candidates = np.nonzero(keep)[0]
+        prelim = keep.nonzero()[0]
+        prelim_distances = np.sqrt(dx[prelim])
+        in_range = prelim_distances <= cutoff
+        candidates = prelim[in_range]
+        candidate_distances = prelim_distances[in_range]
         if candidates.size > 1:
             # Visit candidates in registration order, like the scalar loop
             # (rows come back in row order, which IS registration order
             # until a node leaves and its slot gets recycled).
             row_seq, already_sorted = self._row_seq_array()
             if not already_sorted:
-                candidates = candidates[np.argsort(row_seq[candidates], kind="stable")]
+                order = np.argsort(row_seq[candidates], kind="stable")
+                candidates = candidates[order]
+                candidate_distances = candidate_distances[order]
         rx_powers = self.propagation.rx_power_dbm_batch(
-            transmission.tx_power_dbm, distances[candidates]
+            transmission.tx_power_dbm, candidate_distances
         )
         signal = rx_powers > NO_SIGNAL_DBM
         kept_rows = candidates[signal]
@@ -585,38 +735,49 @@ class WirelessMedium:
             odx = kept_xs[np.newaxis, :] - other_xs[:, np.newaxis]
             ody = kept_ys[np.newaxis, :] - other_ys[:, np.newaxis]
             other_distances = np.sqrt(odx * odx + ody * ody)
+            # Contributions go straight to linear units: the fold below sums
+            # in mW, and the propagation model's mW batch is bit-identical
+            # to converting its dBm batch element by element (out-of-range
+            # entries land on exact 0.0, and 0.0 + x == x in the fold).
             tx_powers = [o.tx_power_dbm for o in interferers]
-            if len(set(tx_powers)) == 1:
-                powers = self.propagation.rx_power_dbm_batch(
-                    tx_powers[0], other_distances.ravel()
-                ).reshape(other_distances.shape)
+            same_power = len(set(tx_powers)) == 1
+            profile = (
+                self.propagation.constant_rx_profile(tx_powers[0])
+                if same_power
+                else None
+            )
+            if profile is not None:
+                # Disk channels contribute one exact mW level in range and
+                # exact zero beyond it, and zero terms are no-ops in the
+                # sequential fold -- so a receiver's folded interference
+                # depends only on its in-range interferer *count*.  Look the
+                # fold (and its dBm conversion) up in a table of iterative
+                # sums, which is bit-identical to running the fold.
+                contribution_mw, reach = profile
+                counts = (other_distances <= reach).sum(axis=0)
+                interference_kept = self._fold_table(
+                    contribution_mw, len(interferers)
+                )[counts]
             else:
-                powers = np.empty_like(other_distances)
-                for i, other in enumerate(interferers):
-                    powers[i] = self.propagation.rx_power_dbm_batch(
-                        other.tx_power_dbm, other_distances[i]
-                    )
-            # Convert only the entries that carry signal: most of the matrix
-            # is out-of-range (NO_SIGNAL -> 0 mW), and the libm pow behind
-            # the exact conversion dominates this block.  Adding the zeros
-            # in the fold below is exact (0.0 + x == x for x >= 0), so the
-            # sparse conversion is bit-identical to converting everything.
-            flat = powers.ravel()
-            live = np.nonzero(flat > NO_SIGNAL_DBM)[0]
-            mw_flat = np.zeros(flat.size)
-            if live.size:
-                mw_flat[live] = np.float_power(10.0, flat[live] / 10.0)
-            contributions_mw = mw_flat.reshape(powers.shape)
-            # Fold row by row: the scalar path sums contributions in
-            # interferer order, and float addition is order-sensitive.
-            total_mw = np.zeros(len(kept_rows))
-            for i in range(len(interferers)):
-                total_mw += contributions_mw[i]
-            interference_kept = mw_to_dbm_batch(total_mw)
+                if same_power:
+                    contributions_mw = self.propagation.rx_power_mw_batch(
+                        tx_powers[0], other_distances.ravel()
+                    ).reshape(other_distances.shape)
+                else:
+                    contributions_mw = np.empty_like(other_distances)
+                    for i, other in enumerate(interferers):
+                        contributions_mw[i] = self.propagation.rx_power_mw_batch(
+                            other.tx_power_dbm, other_distances[i]
+                        )
+                # Fold row by row: the scalar path sums contributions in
+                # interferer order, and float addition is order-sensitive.
+                total_mw = np.zeros(len(kept_rows))
+                for i in range(len(interferers)):
+                    total_mw += contributions_mw[i]
+                interference_kept = mw_to_dbm_batch(total_mw)
         else:
             interference_kept = np.full(len(kept_rows), NO_SIGNAL_DBM)
         codes = self.reception.decide_batch(rx_kept, interference_kept, rng)
-        rx_list = rx_kept.tolist()
         nodes = self._nodes
         packet = transmission.packet
         sender_id = transmission.sender_id
@@ -627,18 +788,33 @@ class WirelessMedium:
             # receiver is intended, no trace records interleave with
             # deliveries, and the loss counters are pure tallies -- so count
             # collisions in bulk and walk only the received indices, mapping
-            # rows to node ids just for those.  (Broadcast frames never hit
+            # rows straight to nodes for those.  (Broadcast frames never hit
             # the weak-signal counter: it only fires for the addressed next
             # hop.)
             collisions = int(np.count_nonzero(codes == BATCH_COLLISION))
             if collisions:
                 self.stats.collision(collisions)
-            kept_rows_list = kept_rows.tolist()
-            for j in np.nonzero(codes == BATCH_RECEIVED)[0].tolist():
-                nodes[row_ids[kept_rows_list[j]]].deliver(
-                    packet.copy(), sender_id, rx_power_dbm=rx_list[j]
+            received = (codes == BATCH_RECEIVED).nonzero()[0]
+            if not received.size:
+                return
+            row_nodes = self._node_row_list()
+            view = packet.view
+            frame_for = self._deliverable_frame
+            for row, rx_power in zip(
+                kept_rows[received].tolist(), rx_kept[received].tolist()
+            ):
+                receiver = row_nodes[row]
+                # Inlined twin of _deliverable_frame (the sanctioned COW
+                # seam): the bound view() call dominates this loop, so the
+                # common opt-in case skips a frame of indirection.  The rx
+                # power rides positionally -- deliver()'s third parameter.
+                receiver.deliver(
+                    view() if receiver.cow_frames_ok else frame_for(receiver, packet),
+                    sender_id,
+                    rx_power,
                 )
             return
+        rx_list = rx_kept.tolist()
         kept_ids = [row_ids[row] for row in kept_rows.tolist()]
         code_list = codes.tolist() if hasattr(codes, "tolist") else list(codes)
         for j, node_id in enumerate(kept_ids):
@@ -657,8 +833,11 @@ class WirelessMedium:
                             sender=sender_id,
                             uid=packet.uid,
                         )
-                    nodes[node_id].deliver(
-                        packet.copy(), sender_id, rx_power_dbm=rx_list[j]
+                    receiver = nodes[node_id]
+                    receiver.deliver(
+                        self._deliverable_frame(receiver, packet),
+                        sender_id,
+                        rx_power_dbm=rx_list[j],
                     )
             elif code == BATCH_COLLISION:
                 if intended:
@@ -673,6 +852,28 @@ class WirelessMedium:
             sender = nodes.get(sender_id)
             if sender is not None and sender.mac is not None:
                 sender.mac.notify_unicast_result(packet, next_hop, unicast_delivered)
+
+    def _fold_table(self, contribution_mw: float, max_count: int):
+        """dBm results of sequentially folding 0..``max_count`` equal mW terms.
+
+        ``table[j]`` carries the exact bits of ``mw_to_dbm`` applied to the
+        running sum ``((contribution + contribution) + ...)`` of ``j`` terms
+        -- the same left-to-right addition order the per-receiver fold (and
+        the scalar backends' ``combine_dbm``) uses, so indexing the table by
+        in-range counts reproduces the fold bit for bit.  Cached per
+        contribution level and regrown when a frame sees more interferers.
+        """
+        np = self._np
+        entry = self._fold_tables.get(contribution_mw)
+        if entry is None or entry[1] < max_count:
+            total = 0.0
+            sums_mw = [0.0]
+            for _ in range(max_count):
+                total += contribution_mw
+                sums_mw.append(total)
+            entry = (np.array([mw_to_dbm(m) for m in sums_mw]), max_count)
+            self._fold_tables[contribution_mw] = entry
+        return entry[0]
 
     def _interference_at(
         self, position: Vec2, interferers: List[ActiveTransmission]
@@ -736,16 +937,25 @@ class WirelessMedium:
         alive for their whole flight instead of cutting history at a fixed
         1-second window.
         """
-        pending_starts = [t.start for t in self._transmissions if t.end >= now]
-        if pending_starts:
-            horizon = min(pending_starts)
-            keep = [t for t in self._transmissions if t.end > horizon]
-        else:
-            keep = []
-        if len(keep) != len(self._transmissions):
+        transmissions = self._transmissions
+        horizon = None
+        for t in transmissions:
+            if t.end >= now and (horizon is None or t.start < horizon):
+                horizon = t.start
+        if horizon is None:
+            if transmissions:
+                self._transmissions = []
+                self._tx_by_uid.clear()
+                self._tx_index.clear()
+            return
+        by_uid = self._tx_by_uid
+        index = self._tx_index
+        keep: List[ActiveTransmission] = []
+        for t in transmissions:
+            if t.end > horizon:
+                keep.append(t)
+            else:
+                del by_uid[t.uid]
+                index.remove(t.uid)
+        if len(keep) != len(transmissions):
             self._transmissions = keep
-            kept_uids = {t.uid for t in keep}
-            for uid in list(self._tx_by_uid):
-                if uid not in kept_uids:
-                    del self._tx_by_uid[uid]
-                    self._tx_index.remove(uid)

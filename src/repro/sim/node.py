@@ -82,6 +82,11 @@ class Node:
         #: when a unicast data packet destined to this node is delivered
         #: end-to-end (request/response workloads answer from here).
         self.app_delivery_handler: Optional[Callable[[Packet], None]] = None
+        #: Whether the medium may hand this node copy-on-write frame views
+        #: instead of full packet copies.  Cleared by
+        #: :meth:`attach_protocol` when the protocol declares
+        #: ``mutates_in_flight`` (see :meth:`repro.sim.packet.Packet.view`).
+        self.cow_frames_ok: bool = True
 
     # ------------------------------------------------------------- kinematics
     @property
@@ -133,8 +138,13 @@ class Node:
 
     # ------------------------------------------------------------ attachment
     def attach_protocol(self, protocol: "RoutingProtocol") -> None:
-        """Install the routing protocol instance that runs on this node."""
+        """Install the routing protocol instance that runs on this node.
+
+        Protocols that mutate received packets in place (``mutates_in_flight
+        = True``) opt this node out of copy-on-write frame delivery.
+        """
         self.protocol = protocol
+        self.cow_frames_ok = not getattr(protocol, "mutates_in_flight", False)
 
     # -------------------------------------------------------------- data path
     def send(self, packet: Packet, next_hop: int = BROADCAST) -> None:

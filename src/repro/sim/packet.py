@@ -11,15 +11,20 @@ from __future__ import annotations
 
 import copy
 import itertools
-from dataclasses import dataclass, field
+from collections.abc import MutableMapping
+from dataclasses import MISSING, dataclass, field, fields
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional
 
 #: Link-layer broadcast address.  A packet sent to ``BROADCAST`` is delivered
 #: to every node that successfully receives the frame.
 BROADCAST: int = -1
 
 _uid_counter = itertools.count(1)
+
+#: `object.__new__` hoisted to a module global: `view()` runs per receiver
+#: per broadcast frame, where the attribute chain is measurable.
+_new_instance = object.__new__
 
 #: Types that deep-copy to themselves; header/payload values of these types
 #: are shared, everything else is copied.
@@ -41,7 +46,62 @@ def _copy_value(value: Any) -> Any:
         return value
     if cls is list:
         return [_copy_value(item) for item in value]
+    if cls is CowMapping:
+        return {key: _copy_value(item) for key, item in value.items()}
     return copy.deepcopy(value)
+
+
+class CowMapping(MutableMapping):
+    """Copy-on-write dict facade shared between a packet and its views.
+
+    Reads delegate to the shared dict; the first write deep-copies the
+    shared content into a private dict, so the original is never touched.
+    Used for :class:`PacketView` headers/payload.
+    """
+
+    __slots__ = ("_shared", "_local")
+
+    def __init__(self, shared: Dict[str, Any]) -> None:
+        self._shared = shared
+        self._local: Optional[Dict[str, Any]] = None
+
+    def _materialize(self) -> Dict[str, Any]:
+        local = self._local
+        if local is None:
+            local = {key: _copy_value(item) for key, item in self._shared.items()}
+            self._local = local
+        return local
+
+    def __getitem__(self, key: str) -> Any:
+        local = self._local
+        return (self._shared if local is None else local)[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._materialize()[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        del self._materialize()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        local = self._local
+        return iter(self._shared if local is None else local)
+
+    def __len__(self) -> int:
+        local = self._local
+        return len(self._shared if local is None else local)
+
+    def __bool__(self) -> bool:
+        local = self._local
+        return bool(self._shared if local is None else local)
+
+    def content(self) -> Dict[str, Any]:
+        """The backing dict currently in effect (shared until first write)."""
+        local = self._local
+        return self._shared if local is None else local
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        state = "local" if self._local is not None else "shared"
+        return f"CowMapping({self.content()!r}, {state})"
 
 
 class PacketKind(Enum):
@@ -122,6 +182,29 @@ class Packet:
             state.update(overrides)
         return fresh
 
+    def view(self) -> "PacketView":
+        """Return a copy-on-write view of this packet with a fresh uid.
+
+        A view behaves like :meth:`copy` -- same fields, new ``uid`` -- but
+        shares the headers/payload storage until (if ever) it is mutated.
+        The medium uses views for per-receiver frame delivery, where the
+        overwhelming majority of frames (e.g. broadcast beacons) are read
+        and dropped without mutation.  The uid is drawn from the same
+        counter as :meth:`copy`, so traces are byte-identical either way.
+
+        Contract: a frame handed to the medium is immutable while in
+        flight.  Protocols that mutate received packets in place (rather
+        than forwarding a copy) must set ``mutates_in_flight = True`` so
+        the medium falls back to full copies for their nodes; attribute
+        writes and header/payload *item* writes on a view are always safe
+        (copy-on-write), but in-place mutation of a mutable header value
+        (e.g. ``packet.headers["path"].append(...)``) would leak through
+        to the shared base.
+        """
+        fresh = _new_instance(PacketView)
+        fresh.__dict__ = {"_base": self, "uid": next(_uid_counter)}
+        return fresh
+
     def forwarded(self) -> "Packet":
         """Copy of this packet with the hop count incremented and TTL decremented."""
         return self.copy(hop_count=self.hop_count + 1, ttl=self.ttl - 1)
@@ -146,6 +229,84 @@ class Packet:
             f"Packet(uid={self.uid}, {self.protocol}/{self.ptype}, "
             f"{self.source}->{self.destination}, hops={self.hop_count}, ttl={self.ttl})"
         )
+
+
+_PACKET_FIELDS = tuple(f.name for f in fields(Packet))
+
+
+class _FieldDelegate:
+    """Non-data descriptor forwarding a field read to the view's base.
+
+    Needed because dataclass fields *with plain defaults* leave the default
+    on the class (``Packet.flow_id is None``), which would satisfy attribute
+    lookup before ``PacketView.__getattr__`` ever ran.  A non-data
+    descriptor slots into the right spot in the lookup order: an instance
+    ``__dict__`` write (a locally shadowed field) still wins, everything
+    else delegates to ``_base``.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj: Any, objtype: Any = None) -> Any:
+        if obj is None:
+            return self
+        return getattr(obj.__dict__["_base"], self.name)
+
+
+class PacketView(Packet):
+    """Copy-on-write view of a :class:`Packet` (see :meth:`Packet.view`).
+
+    Only ``_base``, the fresh ``uid`` and any locally written fields live in
+    the instance dict; every other attribute read falls through
+    ``__getattr__`` to the base packet.  ``headers``/``payload`` reads hand
+    out a cached :class:`CowMapping`, so item writes materialize a private
+    dict instead of touching the shared one.  Plain attribute writes (e.g.
+    the medium stamping ``rx_power_dbm``) naturally shadow the base.
+    """
+
+    def __getattr__(self, name: str) -> Any:
+        # Only reached when `name` is not in the instance dict or on the
+        # class; underscore names never delegate (protects pickling/copy
+        # protocol probes from recursing through `_base`).
+        if name.startswith("_"):
+            raise AttributeError(name)
+        value = getattr(self.__dict__["_base"], name)
+        if name == "headers" or name == "payload":
+            value = CowMapping(value if value.__class__ is dict else value.content())
+            self.__dict__[name] = value
+        return value
+
+    def copy(self, **overrides: Any) -> "Packet":
+        """Materialize a full, independent :class:`Packet` from this view."""
+        fresh = object.__new__(Packet)
+        state = fresh.__dict__
+        # Field-wise getattr walks the shadow -> base chain, so this stays
+        # correct even for views of views.
+        for name in _PACKET_FIELDS:
+            state[name] = getattr(self, name)
+        for key in ("headers", "payload"):
+            mapping = state[key]
+            if mapping:
+                state[key] = {k: _copy_value(v) for k, v in mapping.items()}
+            else:
+                state[key] = {}
+        state["uid"] = next(_uid_counter)
+        if overrides:
+            state.update(overrides)
+        return fresh
+
+
+# Fields with plain defaults live on the Packet class itself; shadow each
+# with a delegating descriptor so views fall through to their base (see
+# _FieldDelegate).  Fields without defaults, and default_factory fields,
+# leave no class attribute and reach PacketView.__getattr__ naturally.
+for _packet_field in fields(Packet):
+    if _packet_field.default is not MISSING:
+        setattr(PacketView, _packet_field.name, _FieldDelegate(_packet_field.name))
+del _packet_field
 
 
 def make_data_packet(

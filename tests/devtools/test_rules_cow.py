@@ -1,0 +1,73 @@
+"""COW-001 fixtures plus the live-medium regression."""
+
+from pathlib import Path
+
+from repro.devtools import lint_sources
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _hits(report, rule_id="COW-001"):
+    return [(f.rule_id, f.path, f.line) for f in report.findings if f.rule_id == rule_id]
+
+
+class TestCowDeliverySeamRule:
+    def test_bare_packet_copy_flagged_in_medium(self):
+        src = (
+            "def _complete(self, transmission):\n"
+            "    for receiver in receivers:\n"
+            "        receiver.deliver(packet.copy(), transmission.sender_id)\n"
+        )
+        report = lint_sources({"sim/medium.py": src}, select=["COW-001"])
+        assert _hits(report) == [("COW-001", "sim/medium.py", 3)]
+
+    def test_attribute_packet_copy_flagged(self):
+        src = (
+            "def _complete(self, transmission):\n"
+            "    frame = transmission.packet.copy()\n"
+        )
+        report = lint_sources({"sim/medium.py": src}, select=["COW-001"])
+        assert _hits(report) == [("COW-001", "sim/medium.py", 2)]
+
+    def test_copy_inside_the_seam_allowed(self):
+        src = (
+            "def _deliverable_frame(self, receiver, packet):\n"
+            "    if receiver.cow_frames_ok:\n"
+            "        return packet.view()\n"
+            "    return packet.copy()\n"
+        )
+        report = lint_sources({"sim/medium.py": src}, select=["COW-001"])
+        assert report.clean
+
+    def test_non_packet_copy_allowed(self):
+        src = (
+            "def _prune(self):\n"
+            "    snapshot = self._transmissions.copy()\n"
+        )
+        report = lint_sources({"sim/medium.py": src}, select=["COW-001"])
+        assert report.clean
+
+    def test_other_modules_out_of_scope(self):
+        # Protocols legitimately copy packets when forwarding.
+        src = (
+            "def route_data(self, packet):\n"
+            "    self.node.send(packet.copy())\n"
+        )
+        report = lint_sources({"protocols/flooding.py": src}, select=["COW-001"])
+        assert report.clean
+
+    def test_live_medium_is_clean(self):
+        """Acceptance criterion: the real medium only copies inside the seam,
+        and reintroducing an eager per-receiver copy refires the rule."""
+        original = (SRC / "sim" / "medium.py").read_text(encoding="utf-8")
+        assert "_deliverable_frame" in original, "seam renamed; update the rule"
+        report = lint_sources({"sim/medium.py": original}, select=["COW-001"])
+        assert report.clean
+        regressed = original.replace(
+            "self._deliverable_frame(node, transmission.packet)",
+            "transmission.packet.copy()",
+        )
+        assert regressed != original
+        refire = lint_sources({"sim/medium.py": regressed}, select=["COW-001"])
+        assert not refire.clean
+        assert all(f.rule_id == "COW-001" for f in refire.findings)

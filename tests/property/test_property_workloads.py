@@ -56,7 +56,7 @@ def _schedule_signature(scenario: Scenario) -> str:
             getattr(event.callback, "__qualname__", str(event.callback)),
             [_describe(arg) for arg in event.args],
         )
-        for event in sorted(built.sim._queue._heap)
+        for event in built.sim._queue.snapshot()
         if not event.cancelled
     ]
     return json.dumps({"flows": flows, "events": events}, sort_keys=True)

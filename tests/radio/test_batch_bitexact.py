@@ -1,0 +1,155 @@
+"""Bit-exactness tests for the batched radio fast paths.
+
+Every optimisation on the vectorized delivery path claims *byte* equality
+with the scalar reference, not approximate equality -- these tests pin that
+claim with ``==`` on floats, never ``pytest.approx``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.radio.interference import (
+    NO_SIGNAL_DBM,
+    combine_dbm,
+    dbm_to_mw,
+    dbm_to_mw_batch,
+    mw_to_dbm,
+    mw_to_dbm_batch,
+)
+from repro.radio.propagation import (
+    FreeSpacePropagation,
+    PropagationModel,
+    UnitDiskPropagation,
+)
+from repro.radio.reception import (
+    BATCH_COLLISION,
+    BATCH_RECEIVED,
+    BATCH_WEAK_SIGNAL,
+    ReceptionDecision,
+    SnrThresholdReception,
+)
+from repro.sim.engine import Simulator
+from repro.sim.medium import WirelessMedium
+
+_DECISION_TO_CODE = {
+    ReceptionDecision.RECEIVED: BATCH_RECEIVED,
+    ReceptionDecision.WEAK_SIGNAL: BATCH_WEAK_SIGNAL,
+    ReceptionDecision.COLLISION: BATCH_COLLISION,
+}
+
+
+class TestBatchConversionHelpers:
+    def test_dbm_mw_batch_round_trip_matches_scalar(self):
+        levels = np.array([-120.0, -92.0, -61.5, 0.0, 20.0, NO_SIGNAL_DBM])
+        batch_mw = dbm_to_mw_batch(levels)
+        for index, level in enumerate(levels.tolist()):
+            assert batch_mw[index] == dbm_to_mw(level)
+        positive = np.array([1e-12, 1e-9, 0.5, 1.0, 100.0])
+        batch_dbm = mw_to_dbm_batch(positive)
+        for index, mw in enumerate(positive.tolist()):
+            assert batch_dbm[index] == mw_to_dbm(mw)
+
+
+class TestConstantRxProfile:
+    def test_unit_disk_reports_its_single_level(self):
+        model = UnitDiskPropagation(communication_range=250.0)
+        profile = model.constant_rx_profile(20.0)
+        assert profile is not None
+        rx_mw, cutoff = profile
+        assert rx_mw == dbm_to_mw(20.0)
+        assert cutoff == 250.0
+        # The profile must agree with the model itself: in range the power
+        # is exactly the advertised level, beyond it exactly silence.
+        assert dbm_to_mw(model.rx_power_dbm_from_distance(20.0, 100.0)) == rx_mw
+        assert (
+            model.rx_power_dbm_from_distance(20.0, cutoff + 1e-9) == NO_SIGNAL_DBM
+        )
+
+    def test_non_constant_models_decline(self):
+        model = FreeSpacePropagation()
+        assert model.constant_rx_profile(20.0) is None
+        assert PropagationModel.constant_rx_profile(model, 20.0) is None
+
+
+class TestFoldTable:
+    def _medium(self):
+        return WirelessMedium(Simulator(seed=1), spatial_backend="vectorized")
+
+    def test_table_matches_sequential_fold(self):
+        medium = self._medium()
+        contribution = dbm_to_mw(20.0)
+        table = medium._fold_table(contribution, 12)
+        assert len(table) == 13
+        # Entry j is the dBm of j in-range contributions folded the way the
+        # scalar path folds them: iterative left-to-right addition.  (Not
+        # j * c -- float multiplication rounds differently for j >= 4.)
+        for j in range(1, 13):
+            total = 0.0
+            for _ in range(j):
+                total += contribution
+            assert table[j] == mw_to_dbm(total)
+
+    def test_table_matches_combine_dbm(self):
+        medium = self._medium()
+        tx_dbm = 17.0
+        contribution = dbm_to_mw(tx_dbm)
+        table = medium._fold_table(contribution, 8)
+        for j in range(1, 9):
+            assert table[j] == combine_dbm([tx_dbm] * j)
+
+    def test_table_grows_and_is_cached(self):
+        medium = self._medium()
+        small = medium._fold_table(0.5, 3)
+        again = medium._fold_table(0.5, 2)
+        assert again is small
+        grown = medium._fold_table(0.5, 10)
+        assert len(grown) == 11
+        assert list(grown[:4]) == list(small)
+
+
+class TestDecideBatchMemo:
+    @pytest.mark.parametrize("size", [3, 16, 200])
+    def test_batch_matches_scalar_decide(self, size):
+        model = SnrThresholdReception()
+        rng = np.random.default_rng(42)
+        rx = rng.uniform(-110.0, -40.0, size)
+        interference = rng.choice(
+            [NO_SIGNAL_DBM, -95.0, -88.0, -70.0, -55.0], size
+        )
+        codes = model.decide_batch(rx, interference)
+        for index in range(size):
+            outcome = model.decide(float(rx[index]), float(interference[index]))
+            assert codes[index] == _DECISION_TO_CODE[outcome.decision]
+
+    def test_memo_is_populated_and_reused(self):
+        model = SnrThresholdReception()
+        interference = np.full(20, -70.0)
+        rx = np.full(20, -60.0)
+        model.decide_batch(rx, interference)
+        assert -70.0 in model._npi_memo
+        memo_value = model._npi_memo[-70.0]
+        # The memoised value is exactly what combine_dbm would produce.
+        assert memo_value == combine_dbm([model.noise_floor_dbm, -70.0])
+        # Second call reuses the entry (same object identity for the dict).
+        model.decide_batch(rx, interference)
+        assert model._npi_memo[-70.0] == memo_value
+
+    def test_memo_resets_when_noise_floor_changes(self):
+        model = SnrThresholdReception()
+        model.decide_batch(np.full(4, -60.0), np.full(4, -70.0))
+        assert model._npi_memo
+        model.noise_floor_dbm = -95.0
+        codes = model.decide_batch(np.full(4, -60.0), np.full(4, -70.0))
+        assert model._npi_memo[-70.0] == combine_dbm([-95.0, -70.0])
+        outcome = model.decide(-60.0, -70.0)
+        assert codes[0] == _DECISION_TO_CODE[outcome.decision]
+
+    def test_quiet_channel_uses_quiet_constant(self):
+        model = SnrThresholdReception()
+        quiet = np.full(20, NO_SIGNAL_DBM)
+        codes = model.decide_batch(np.full(20, -80.0), quiet)
+        outcome = model.decide(-80.0, NO_SIGNAL_DBM)
+        assert set(codes.tolist()) == {_DECISION_TO_CODE[outcome.decision]}
+        assert model._npi_memo[NO_SIGNAL_DBM] == combine_dbm(
+            [model.noise_floor_dbm, NO_SIGNAL_DBM]
+        )

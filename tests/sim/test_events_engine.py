@@ -36,12 +36,17 @@ class TestEventQueue:
         assert order == ["high", "low"]
 
     def test_cancelled_event_does_not_fire(self):
+        # `pop` now reclaims cancelled events the way `peek_time` always
+        # did: a queue holding only dead events is effectively empty.
         queue = EventQueue()
         fired = []
         event = queue.push(1.0, lambda: fired.append(1))
+        queue.push(2.0, lambda: fired.append(2))
         event.cancel()
         queue.pop().fire()
-        assert fired == []
+        assert fired == [2]
+        with pytest.raises(IndexError):
+            queue.pop()
 
     def test_peek_time_skips_cancelled(self):
         queue = EventQueue()

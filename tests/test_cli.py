@@ -234,6 +234,48 @@ class TestCommands:
         assert csv_path.exists()
         assert "Greedy" in csv_path.read_text()
 
+    def test_run_profile_prints_hot_functions(self, capsys):
+        code = main(
+            [
+                "run",
+                "Greedy",
+                "--duration", "5",
+                "--max-vehicles", "10",
+                "--flows", "1",
+                "--packets-per-flow", "2",
+                "--density", "sparse",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "delivery_ratio" in output
+        assert "cumulative" in output
+        assert "engine.py" in output
+
+    def test_run_profile_dumps_pstats_file(self, capsys, tmp_path):
+        import pstats
+
+        profile_path = tmp_path / "run.pstats"
+        code = main(
+            [
+                "run",
+                "Greedy",
+                "--duration", "5",
+                "--max-vehicles", "10",
+                "--flows", "1",
+                "--packets-per-flow", "2",
+                "--density", "sparse",
+                "--profile", str(profile_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "cumulative" not in captured.out
+        assert profile_path.exists()
+        stats = pstats.Stats(str(profile_path))
+        assert stats.total_calls > 0
+
     def test_compare_small_scenario(self, capsys):
         code = main(
             [
