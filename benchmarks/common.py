@@ -45,6 +45,21 @@ def sweep_workers(var: str = "REPRO_SWEEP_WORKERS", default: int = 1) -> int:
         return default
 
 
+def sweep_store(var: str = "REPRO_SWEEP_STORE") -> Optional[Path]:
+    """Experiment-store directory for benchmark sweeps, read from ``var``.
+
+    When set, every benchmark sweep streams its per-cell records into that
+    one shared store directory and resumes from it (content-addressed keys
+    never collide across matrices): an interrupted ``pytest benchmarks/``
+    picks up where it stopped, and an unchanged re-run reuses every cell.
+    The content key includes the code digest, so editing ``src/repro``
+    invalidates exactly the affected cells.  Unset (the default),
+    benchmarks run storeless as before.
+    """
+    raw = os.environ.get(var, "").strip()
+    return Path(raw) if raw else None
+
+
 def small_highway(
     density: TrafficDensity = TrafficDensity.NORMAL,
     *,
@@ -129,6 +144,7 @@ def replicate(
     derive: Optional[Callable[[RunRecord], Dict[str, float]]] = None,
     workers: Optional[int] = None,
     workloads: Optional[Sequence[str]] = None,
+    store: Optional[Path] = None,
 ) -> SweepResult:
     """Run the scenario x protocol x workload x seed matrix, aggregate 95% CIs.
 
@@ -137,14 +153,22 @@ def replicate(
     ratios are averaged per run instead of being computed from averaged
     numerators and denominators.  ``workloads`` (kind or preset names) adds
     the traffic axis; omitted, scenarios keep their own workload (``cbr``).
+
+    ``store`` (default: :func:`sweep_store`, i.e. ``$REPRO_SWEEP_STORE``)
+    streams per-cell records through an experiment store and skips cells
+    the store already holds.  The store keeps the raw (un-derived) records;
+    ``derive`` is re-applied in memory on every call, so cached and fresh
+    cells report identical derived metrics.
     """
     workers = workers if workers is not None else sweep_workers()
+    store = store if store is not None else sweep_store()
     sweep = sweep_replications(
         list(scenarios),
         list(protocols),
         seeds=list(seeds),
         workers=workers,
         workloads=list(workloads) if workloads is not None else None,
+        store=store,
     )
     if derive is not None:
         for record in sweep.records:

@@ -11,7 +11,13 @@ also runnable as ``python -m repro.cli``.  Subcommands:
 ``sweep``
     Run a protocol x seed replication matrix over the scenario, optionally
     across worker processes, and print per-cell mean / 95% CI aggregates
-    (optionally persisted to CSV and JSON).
+    (optionally persisted to CSV and JSON).  ``--store DIR`` streams every
+    completed cell into a resumable, content-addressed experiment store
+    (``--resume``/``--no-resume`` control cache hits, ``--shard K/N``
+    splits the matrix across machines).
+``store``
+    Inspect an experiment-store directory: ``list`` its records,
+    ``summary`` the aggregates + manifest, or ``verify`` its integrity.
 ``protocols``
     List the implemented protocols and their taxonomy categories.
 ``list-scenarios``
@@ -40,6 +46,7 @@ axes.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -47,7 +54,12 @@ from repro.core.taxonomy import global_registry
 from repro.devtools.registry import rule_rows
 from repro.devtools.lint import run_lint
 from repro.devtools.reporters import REPORTERS
-from repro.harness.reporting import format_table, rows_to_csv, sweep_to_json
+from repro.harness.reporting import (
+    format_table,
+    rows_to_csv,
+    sweep_from_store,
+    sweep_to_json,
+)
 from repro.harness.runner import ExperimentRunner
 from repro.harness.scenario import DEFAULT_FLOW_COUNT, FlowSpec, Scenario
 from repro.harness.scenarios import (
@@ -66,6 +78,7 @@ from repro.radio.registry import (
     radio_rows,
 )
 from repro.sim.spatial import SPATIAL_BACKENDS
+from repro.store.store import ExperimentStore, read_record_log
 from repro.workloads import (
     available_workload_presets,
     available_workloads,
@@ -404,6 +417,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
             workloads=workloads,
             radios=radios,
             spatial_backends=spatial_backends,
+            store=args.store,
+            resume=args.resume,
+            shard=args.shard,
         )
     except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
@@ -417,11 +433,74 @@ def _command_sweep(args: argparse.Namespace) -> int:
         f"{len(args.seeds)} seed(s), workers={args.workers}"
     )
     print(format_table(rows, title=title))
+    if args.store is not None or args.shard is not None:
+        print(
+            f"store: executed {result.executed_cells} cell(s), "
+            f"reused {result.reused_cells} from {args.store or 'matrix shard'}"
+        )
     if args.csv:
         rows_to_csv(args.csv, rows)
     if args.json:
         sweep_to_json(args.json, result)
     return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    directory = Path(args.store_dir)
+    if not directory.is_dir():
+        print(f"not an experiment store directory: {directory}", file=sys.stderr)
+        return 2
+    store = ExperimentStore(directory)
+    if args.action == "list":
+        rows: List[dict] = []
+        for key, record in read_record_log(directory):
+            rows.append(
+                {
+                    "key": key[:12],
+                    "scenario": record.scenario_name,
+                    "protocol": record.protocol,
+                    "workload": record.workload,
+                    "radio": record.radio,
+                    "seed": record.seed,
+                }
+            )
+            if args.limit is not None and len(rows) >= args.limit:
+                break
+        print(format_table(rows, title=f"Records in {directory} (append order)"))
+        return 0
+    if args.action == "summary":
+        manifest = store.read_manifest()
+        result = sweep_from_store(directory)
+        print(
+            format_table(
+                result.rows(HEADLINE_METRICS),
+                title=f"Aggregates over {len(result.records)} record(s) in {directory}",
+            )
+        )
+        if manifest is not None:
+            matrix = manifest.get("matrix", {})
+            print(
+                f"manifest: schema_version={manifest.get('schema_version')} "
+                f"code_version={manifest.get('code_version')} "
+                f"total_cells={matrix.get('total_cells')} "
+                f"shard={matrix.get('shard')}"
+            )
+        return 0
+    # verify
+    report = store.verify()
+    print(
+        f"{directory}: {report.record_count} record(s), "
+        f"{report.distinct_keys} distinct key(s), "
+        f"{report.duplicate_keys} duplicated, "
+        f"schema versions {sorted(report.schema_versions) or '-'}"
+        + (", truncated tail (interrupted append)" if report.truncated_tail else "")
+    )
+    for issue in report.issues:
+        print(f"  issue: {issue}", file=sys.stderr)
+    print("store OK" if report.ok else "store NOT OK")
+    return 0 if report.ok else 1
 
 
 def _command_protocols(_: argparse.Namespace) -> int:
@@ -497,6 +576,23 @@ def _command_list_lint_rules(_: argparse.Namespace) -> int:
     return 0
 
 
+def _env_workers() -> int:
+    """Default sweep worker count: ``$REPRO_SWEEP_WORKERS`` or 1.
+
+    Read at parser build time so ``--workers`` on the command line always
+    wins, while CI and multi-machine wrappers can set the default once in
+    the environment instead of threading a flag through every invocation.
+    """
+    raw = os.environ.get("REPRO_SWEEP_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        return 1
+    return max(1, workers)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -536,16 +632,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="replication seeds, one run per (protocol, seed) (default: 1 2 3)",
     )
     sweep_parser.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes; 1 runs serially in-process (default: 1)",
+        "--workers", type=int, default=_env_workers(),
+        help="worker processes; 1 runs serially in-process "
+        "(default: $REPRO_SWEEP_WORKERS or 1)",
     )
     sweep_parser.add_argument(
         "--json", type=str, default=None,
         help="write the full sweep (per-run records + aggregates) to this JSON file",
     )
+    sweep_parser.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="stream every completed cell into this experiment-store directory "
+        "(content-addressed JSONL record log; partial results survive a crash)",
+    )
+    sweep_parser.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="with --store: skip cells already in the store "
+        "(--no-resume re-executes everything; default: resume)",
+    )
+    sweep_parser.add_argument(
+        "--shard", type=str, default=None, metavar="K/N",
+        help="run only shard K of an N-way hash partition of the matrix "
+        "(e.g. 1/2 and 2/2 on two machines cover it exactly once)",
+    )
     # ``seed=None`` only placates _build_scenario; build_matrix overrides
     # every cell's seed with a value from --seeds.
     sweep_parser.set_defaults(func=_command_sweep, seed=None)
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect an experiment-store directory (list / summary / verify)"
+    )
+    store_parser.add_argument(
+        "action", choices=["list", "summary", "verify"],
+        help="list records, aggregate + show the manifest, or check integrity",
+    )
+    store_parser.add_argument("store_dir", help="experiment-store directory")
+    store_parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="with 'list': show at most N records (default: all)",
+    )
+    store_parser.set_defaults(func=_command_store)
 
     protocols_parser = subparsers.add_parser("protocols", help="list implemented protocols")
     protocols_parser.set_defaults(func=_command_protocols)

@@ -14,6 +14,15 @@ from repro.devtools.rules import (  # noqa: F401  (imported for registration)
     meta,
     registry_contract,
     rng,
+    schema,
 )
 
-__all__ = ["bitexact", "cow", "determinism", "meta", "registry_contract", "rng"]
+__all__ = [
+    "bitexact",
+    "cow",
+    "determinism",
+    "meta",
+    "registry_contract",
+    "rng",
+    "schema",
+]

@@ -7,7 +7,9 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.harness.sweep import SweepResult
+from repro.harness.runner import RunRecord
+from repro.harness.sweep import SweepResult, aggregate_records
+from repro.store.store import read_record_log
 
 
 def _format_value(value: object, precision: int) -> str:
@@ -97,6 +99,21 @@ def sweep_to_json(path: Union[str, Path], result: SweepResult) -> None:
 def sweep_from_json(path: Union[str, Path]) -> SweepResult:
     """Load a sweep persisted by :func:`sweep_to_json`."""
     return SweepResult.from_dict(json.loads(Path(path).read_text()))
+
+
+def sweep_from_store(path: Union[str, Path]) -> SweepResult:
+    """Build a :class:`SweepResult` from an experiment-store record log.
+
+    Works on a live (mid-run) or interrupted store: the records that made
+    it into the log -- in append order, last write per key winning -- are
+    aggregated exactly as :func:`~repro.harness.sweep.sweep_replications`
+    would aggregate them.  A truncated tail line is skipped.
+    """
+    index: Dict[str, RunRecord] = {}
+    for key, record in read_record_log(path):
+        index[key] = record
+    records = list(index.values())
+    return SweepResult(records=records, replicated=aggregate_records(records))
 
 
 def sweep_to_csv(

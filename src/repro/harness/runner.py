@@ -31,6 +31,7 @@ from repro.sim.network import Network, NetworkConfig
 from repro.sim.node import Node
 from repro.sim.statistics import StatsCollector
 from repro.sim.trace import EventTrace
+from repro.store.schema import RECORD_SCHEMA_VERSION, check_record_schema_version
 from repro.harness.scenario import Scenario
 from repro.harness.scenarios import build_mobility
 from repro.workloads import workload_from_name
@@ -80,12 +81,27 @@ class RunRecord:
         return row
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serialisable representation (see :func:`from_dict`)."""
-        return asdict(self)
+        """JSON-serialisable representation (see :func:`from_dict`).
+
+        Stamped with the current record ``schema_version`` so persisted
+        artifacts (sweep JSON, the experiment store's record log) stay
+        self-describing; :meth:`from_dict` rejects versions it does not
+        know how to parse.
+        """
+        payload = asdict(self)
+        payload["schema_version"] = RECORD_SCHEMA_VERSION
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "RunRecord":
-        """Rebuild a record written by :meth:`to_dict`."""
+        """Rebuild a record written by :meth:`to_dict`.
+
+        Accepts the known schema versions (an unstamped payload is the
+        legacy version 1) and raises ``ValueError`` on anything newer --
+        silently field-picking a future layout would fabricate defaults
+        instead of data.
+        """
+        check_record_schema_version(payload, "RunRecord payload")
         return cls(
             scenario_name=str(payload["scenario_name"]),
             protocol=str(payload["protocol"]),

@@ -27,13 +27,17 @@ from __future__ import annotations
 import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.harness.runner import ExperimentRunner, RunRecord, RunResult
 from repro.harness.scenario import Scenario
 from repro.mobility.generator import TrafficDensity
 from repro.protocols.base import ProtocolConfig
 from repro.radio.registry import DEFAULT_RADIO
+from repro.store.keys import cell_key, code_version, parse_shard, shard_of
+from repro.store.schema import RECORD_SCHEMA_VERSION, check_record_schema_version
+from repro.store.store import ExperimentStore
 
 _CellT = TypeVar("_CellT")
 _ResultT = TypeVar("_ResultT")
@@ -185,6 +189,7 @@ def execute_cells(
     worker: Callable[[_CellT], _ResultT],
     workers: int = 1,
     mp_context=None,
+    on_result: Optional[Callable[[int, _ResultT], None]] = None,
 ) -> List[_ResultT]:
     """Run ``worker`` over every cell, serially or across processes.
 
@@ -192,12 +197,29 @@ def execute_cells(
     finishes first, so ``workers=N`` and ``workers=1`` produce identical
     output for a deterministic worker.  ``worker`` and the cells must be
     picklable when ``workers > 1``.
+
+    ``on_result(index, result)`` is invoked in this process as each cell's
+    result becomes available, always in cell order (the pool map yields
+    in submission order as results arrive).  The experiment store hangs
+    its streaming per-cell appends off this hook, which is why it runs in
+    the parent: a hard kill of the sweep process stops the record log at a
+    line boundary instead of stranding half-written worker output.
     """
+    results: List[_ResultT] = []
     if workers <= 1:
-        return [worker(cell) for cell in cells]
+        for index, cell in enumerate(cells):
+            result = worker(cell)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
     max_workers = min(workers, len(cells)) or 1
     with ProcessPoolExecutor(max_workers=max_workers, mp_context=mp_context) as pool:
-        return list(pool.map(worker, cells))
+        for index, result in enumerate(pool.map(worker, cells)):
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+    return results
 
 
 # -------------------------------------------------------------- aggregation
@@ -357,10 +379,17 @@ class SweepResult:
     Attributes:
         records: One :class:`RunRecord` per matrix cell, in matrix order.
         replicated: Per-(scenario, protocol) aggregates over the seeds.
+        executed_cells: Cells actually run by this sweep (excluded from
+            comparison and serialisation: a resumed sweep and a fresh one
+            that produced the same records are the same result).
+        reused_cells: Cells satisfied from the experiment store instead of
+            executing.
     """
 
     records: List[RunRecord] = field(default_factory=list)
     replicated: List[ReplicatedResult] = field(default_factory=list)
+    executed_cells: int = field(default=0, compare=False)
+    reused_cells: int = field(default=0, compare=False)
 
     def record_rows(self) -> List[Dict[str, object]]:
         """One flat row per individual run."""
@@ -372,12 +401,14 @@ class SweepResult:
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "schema_version": RECORD_SCHEMA_VERSION,
             "records": [record.to_dict() for record in self.records],
             "replicated": [result.to_dict() for result in self.replicated],
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "SweepResult":
+        check_record_schema_version(payload, "sweep artifact")
         return cls(
             records=[RunRecord.from_dict(item) for item in payload.get("records", [])],
             replicated=[
@@ -396,6 +427,9 @@ def sweep_replications(
     radios: Optional[Sequence[str]] = None,
     spatial_backends: Optional[Sequence[str]] = None,
     shared_mobility: bool = False,
+    store: Optional[Union[str, Path, ExperimentStore]] = None,
+    resume: bool = True,
+    shard: Optional[Union[str, Tuple[int, int]]] = None,
 ) -> SweepResult:
     """Run the scenario x protocol x workload x radio x seed matrix.
 
@@ -413,6 +447,20 @@ def sweep_replications(
     instead of rebuilding it per cell, which cuts per-cell setup to one
     pickle load while keeping the records byte-identical (pinned by the
     staged-equality suite).  The arena lives exactly as long as the sweep.
+
+    ``store`` (a directory path or :class:`ExperimentStore`) streams every
+    completed cell into a content-addressed record log as it finishes, so
+    partial results survive a crash.  With ``resume=True`` (the default)
+    cells whose key is already in the store are *not* executed -- their
+    stored records flow straight into the result -- which makes an
+    interrupted sweep restartable and an identical re-run free.
+    ``resume=False`` re-executes (and re-appends) everything.
+
+    ``shard="K/N"`` (or ``(K, N)``, 1-based K) keeps only the cells whose
+    content key falls into shard ``K`` of an ``N``-way hash partition.
+    Every machine computes the same partition independently, so ``N``
+    machines each running one shard into their own store cover the matrix
+    exactly once with no coordination; union the stores afterwards.
     """
     cells = build_matrix(
         scenarios,
@@ -423,25 +471,121 @@ def sweep_replications(
         radios,
         spatial_backends,
     )
-    if shared_mobility:
-        from repro.harness import shared_build
-
-        with shared_build.MobilityArena() as arena:
-            try:
-                staged = [
-                    shared_build.StagedCell(cell, arena.stage(cell.scenario))
-                    for cell in cells
-                ]
-                records = execute_cells(
-                    staged, shared_build.run_staged_cell, workers=workers
+    total_cells = len(cells)
+    keys: Optional[List[str]] = None
+    code: Optional[str] = None
+    if store is not None or shard is not None:
+        code = code_version()
+        keys = [
+            cell_key(cell.scenario, cell.protocol, cell.protocol_config, code)
+            for cell in cells
+        ]
+    shard_spec: Optional[str] = None
+    if shard is not None:
+        if isinstance(shard, str):
+            shard_index, shard_count = parse_shard(shard)
+        else:
+            shard_index, shard_count = shard
+            if shard_count < 1 or not 1 <= shard_index <= shard_count:
+                raise ValueError(
+                    f"shard {shard!r} out of range: need 1 <= K <= N with N >= 1"
                 )
-            finally:
-                # Serial runs attach in *this* process; drop those mappings
-                # with the arena (worker processes die with the pool).
-                shared_build.detach_all()
+        assert keys is not None
+        mine = [
+            position
+            for position, key in enumerate(keys)
+            if shard_of(key, shard_count) == shard_index - 1
+        ]
+        cells = [cells[position] for position in mine]
+        keys = [keys[position] for position in mine]
+        shard_spec = f"{shard_index}/{shard_count}"
+
+    exp_store: Optional[ExperimentStore] = None
+    cached: Dict[str, RunRecord] = {}
+    if store is not None:
+        exp_store = store if isinstance(store, ExperimentStore) else ExperimentStore(store)
+        assert keys is not None
+        # No timestamps in the manifest: a resumed sweep and a fresh one
+        # over the same matrix must leave byte-identical store metadata.
+        exp_store.write_manifest(
+            {
+                "code_version": code,
+                "matrix": {
+                    "scenarios": [scenario.name for scenario in scenarios],
+                    "protocols": list(protocol_names),
+                    "seeds": [int(seed) for seed in seeds],
+                    "workloads": list(workloads) if workloads is not None else None,
+                    "radios": list(radios) if radios is not None else None,
+                    "spatial_backends": (
+                        list(spatial_backends) if spatial_backends is not None else None
+                    ),
+                    "total_cells": total_cells,
+                    "shard": shard_spec,
+                },
+            }
+        )
+        if resume:
+            index = exp_store.load_index()
+            cached = {key: index[key] for key in keys if key in index}
+
+    if keys is not None:
+        pending = [
+            (cell, key) for cell, key in zip(cells, keys) if key not in cached
+        ]
+        pending_cells = [cell for cell, _key in pending]
+        pending_keys: List[str] = [key for _cell, key in pending]
     else:
-        records = execute_cells(cells, run_cell, workers=workers)
-    return SweepResult(records=records, replicated=aggregate_records(records))
+        pending_cells = list(cells)
+        pending_keys = []
+
+    on_result: Optional[Callable[[int, RunRecord], None]] = None
+    if exp_store is not None:
+        def _stream_append(index: int, record: RunRecord) -> None:
+            assert exp_store is not None
+            exp_store.append(pending_keys[index], record)
+
+        on_result = _stream_append
+
+    try:
+        if shared_mobility:
+            from repro.harness import shared_build
+
+            with shared_build.MobilityArena() as arena:
+                try:
+                    staged = [
+                        shared_build.StagedCell(cell, arena.stage(cell.scenario))
+                        for cell in pending_cells
+                    ]
+                    fresh = execute_cells(
+                        staged,
+                        shared_build.run_staged_cell,
+                        workers=workers,
+                        on_result=on_result,
+                    )
+                finally:
+                    # Serial runs attach in *this* process; drop those mappings
+                    # with the arena (worker processes die with the pool).
+                    shared_build.detach_all()
+        else:
+            fresh = execute_cells(
+                pending_cells, run_cell, workers=workers, on_result=on_result
+            )
+    finally:
+        if exp_store is not None:
+            exp_store.close()
+
+    if cached:
+        by_key = dict(zip(pending_keys, fresh))
+        assert keys is not None
+        records = [cached[key] if key in cached else by_key[key] for key in keys]
+    else:
+        records = fresh
+    return SweepResult(
+        records=records,
+        replicated=aggregate_records(records),
+        executed_cells=len(pending_cells),
+        reused_cells=len(cached),
+    )
 
 
 # ----------------------------------------------------- single-runner sweeps

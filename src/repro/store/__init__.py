@@ -1,0 +1,74 @@
+"""Experiment store: streaming, resumable, content-addressed sweep persistence.
+
+The sweep layer's persistence model (replacing "one JSON file at the end"):
+
+* :class:`ExperimentStore` -- a directory holding an append-only JSONL
+  record log (one fsync'd line per completed cell) plus an atomically
+  updated manifest, readable mid-run and tolerant of a crash-truncated
+  tail.
+* :mod:`repro.store.keys` -- content addressing: every cell is keyed by a
+  stable hash of (scenario, protocol, protocol config, code version), so
+  the store doubles as a cache (resume skips completed cells; a code
+  change re-keys, and therefore re-runs, exactly the affected cells) and
+  as a coordination-free sharder (``shard K/N`` partitions any matrix by
+  key hash).
+* :mod:`repro.store.schema` -- explicit schema versioning of every
+  persisted record payload; readers fail loudly on unknown versions.
+
+Entry points: ``sweep_replications(store=..., resume=..., shard=...)``
+writes through the store, ``repro-vanet store {list,summary,verify}``
+inspects one, and :func:`repro.harness.reporting.sweep_from_store`
+aggregates from one.
+
+This ``__init__`` re-exports the public names lazily (PEP 562):
+:mod:`repro.harness.runner` imports :mod:`repro.store.schema` while the
+store modules import the runner's :class:`RunRecord`, and an eager
+re-export here would turn that pairing into a circular import.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List
+
+from repro.store.schema import (  # noqa: F401  (re-exported)
+    KNOWN_RECORD_SCHEMA_VERSIONS,
+    RECORD_FIELDS,
+    RECORD_SCHEMA_VERSION,
+    check_record_schema_version,
+)
+
+#: Lazily re-exported name -> defining submodule.
+_LAZY_EXPORTS: Dict[str, str] = {
+    "ExperimentStore": "repro.store.store",
+    "StoreReport": "repro.store.store",
+    "read_record_log": "repro.store.store",
+    "union_stores": "repro.store.store",
+    "canonical": "repro.store.keys",
+    "canonical_json": "repro.store.keys",
+    "cell_key": "repro.store.keys",
+    "code_version": "repro.store.keys",
+    "parse_shard": "repro.store.keys",
+    "shard_of": "repro.store.keys",
+}
+
+__all__ = [
+    "KNOWN_RECORD_SCHEMA_VERSIONS",
+    "RECORD_FIELDS",
+    "RECORD_SCHEMA_VERSION",
+    "check_record_schema_version",
+    *sorted(_LAZY_EXPORTS),
+]
+
+
+def __getattr__(name: str) -> object:
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value  # cache: subsequent lookups skip this hook
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

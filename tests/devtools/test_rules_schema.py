@@ -1,0 +1,141 @@
+"""SCHEMA-001 fixtures plus the live-tree regression."""
+
+from pathlib import Path
+
+from repro.devtools import lint_sources
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+SCHEMA_OK = (
+    "RECORD_SCHEMA_VERSION = 2\n"
+    'RECORD_FIELDS = {1: ("a", "b"), 2: ("a", "b")}\n'
+)
+RUNNER_OK = (
+    "from dataclasses import dataclass\n"
+    "\n"
+    "@dataclass\n"
+    "class RunRecord:\n"
+    "    a: int\n"
+    "    b: str\n"
+)
+
+
+def _hits(report, rule_id="SCHEMA-001"):
+    return [(f.rule_id, f.path, f.line) for f in report.findings if f.rule_id == rule_id]
+
+
+class TestRecordSchemaVersionRule:
+    def test_matching_layout_is_clean(self):
+        report = lint_sources(
+            {"store/schema.py": SCHEMA_OK, "harness/runner.py": RUNNER_OK},
+            select=["SCHEMA-001"],
+        )
+        assert report.clean
+
+    def test_added_field_without_bump_flagged(self):
+        runner = RUNNER_OK + "    c: float\n"
+        report = lint_sources(
+            {"store/schema.py": SCHEMA_OK, "harness/runner.py": runner},
+            select=["SCHEMA-001"],
+        )
+        assert _hits(report) == [("SCHEMA-001", "harness/runner.py", 4)]
+        assert "without a schema-version bump" in report.findings[0].message
+
+    def test_reordered_fields_flagged(self):
+        runner = RUNNER_OK.replace("    a: int\n    b: str\n", "    b: str\n    a: int\n")
+        report = lint_sources(
+            {"store/schema.py": SCHEMA_OK, "harness/runner.py": runner},
+            select=["SCHEMA-001"],
+        )
+        assert len(_hits(report)) == 1
+
+    def test_bumped_version_with_new_catalogue_entry_is_clean(self):
+        schema = (
+            "RECORD_SCHEMA_VERSION = 3\n"
+            'RECORD_FIELDS = {1: ("a", "b"), 2: ("a", "b"), 3: ("a", "b", "c")}\n'
+        )
+        runner = RUNNER_OK + "    c: float\n"
+        report = lint_sources(
+            {"store/schema.py": schema, "harness/runner.py": runner},
+            select=["SCHEMA-001"],
+        )
+        assert report.clean
+
+    def test_current_version_missing_from_catalogue_flagged(self):
+        schema = 'RECORD_SCHEMA_VERSION = 3\nRECORD_FIELDS = {1: ("a",), 2: ("a",)}\n'
+        runner = "from dataclasses import dataclass\n\n@dataclass\nclass RunRecord:\n    a: int\n"
+        report = lint_sources(
+            {"store/schema.py": schema, "harness/runner.py": runner},
+            select=["SCHEMA-001"],
+        )
+        hits = _hits(report)
+        assert hits == [("SCHEMA-001", "store/schema.py", 1)]
+        assert "no entry for version 3" in report.findings[0].message
+
+    def test_version_gap_flagged(self):
+        schema = 'RECORD_SCHEMA_VERSION = 3\nRECORD_FIELDS = {1: ("a",), 3: ("a",)}\n'
+        runner = "from dataclasses import dataclass\n\n@dataclass\nclass RunRecord:\n    a: int\n"
+        report = lint_sources(
+            {"store/schema.py": schema, "harness/runner.py": runner},
+            select=["SCHEMA-001"],
+        )
+        assert any("contiguous" in f.message for f in report.findings)
+
+    def test_classvar_annotations_are_not_fields(self):
+        runner = (
+            "from dataclasses import dataclass\n"
+            "from typing import ClassVar\n"
+            "\n"
+            "@dataclass\n"
+            "class RunRecord:\n"
+            "    kind: ClassVar[str] = 'run'\n"
+            "    a: int\n"
+            "    b: str\n"
+        )
+        report = lint_sources(
+            {"store/schema.py": SCHEMA_OK, "harness/runner.py": runner},
+            select=["SCHEMA-001"],
+        )
+        assert report.clean
+
+    def test_partial_lint_runs_stay_silent(self):
+        # Either module alone gives the rule nothing to compare.
+        assert lint_sources(
+            {"store/schema.py": SCHEMA_OK}, select=["SCHEMA-001"]
+        ).clean
+        assert lint_sources(
+            {"harness/runner.py": RUNNER_OK + "    c: float\n"}, select=["SCHEMA-001"]
+        ).clean
+
+    def test_non_literal_catalogue_flagged(self):
+        schema = "RECORD_SCHEMA_VERSION = 2\nRECORD_FIELDS = make_fields()\n"
+        report = lint_sources(
+            {"store/schema.py": schema, "harness/runner.py": RUNNER_OK},
+            select=["SCHEMA-001"],
+        )
+        assert any("literal dict" in f.message for f in report.findings)
+
+    def test_live_tree_is_clean(self):
+        """Acceptance: the real schema.py and runner.py agree today."""
+        sources = {
+            "store/schema.py": (SRC / "store" / "schema.py").read_text(),
+            "harness/runner.py": (SRC / "harness" / "runner.py").read_text(),
+        }
+        report = lint_sources(sources, select=["SCHEMA-001"])
+        assert report.clean
+
+    def test_live_tree_drift_is_flagged(self):
+        """Un-bumped field addition to the *real* RunRecord re-flags today."""
+        runner_text = (SRC / "harness" / "runner.py").read_text()
+        drifted = runner_text.replace(
+            "    scenario_name: str\n",
+            "    scenario_name: str\n    hostname: str\n",
+            1,
+        )
+        assert drifted != runner_text  # the anchor field still exists
+        sources = {
+            "store/schema.py": (SRC / "store" / "schema.py").read_text(),
+            "harness/runner.py": drifted,
+        }
+        report = lint_sources(sources, select=["SCHEMA-001"])
+        assert len(_hits(report)) == 1

@@ -30,6 +30,7 @@ from repro.harness.sweep import (
     t_critical_95,
 )
 from repro.mobility.generator import TrafficDensity
+from repro.store.schema import KNOWN_RECORD_SCHEMA_VERSIONS, RECORD_SCHEMA_VERSION
 
 pytestmark = pytest.mark.skipif(
     sys.platform == "win32", reason="process-pool tests assume a POSIX fork context"
@@ -432,3 +433,53 @@ class TestPersistence:
     def test_records_are_picklable(self):
         record = _record(delivery_ratio=0.5)
         assert pickle.loads(pickle.dumps(record)) == record
+
+
+class TestSchemaVersioning:
+    """Persisted payloads carry an explicit schema version; readers are picky."""
+
+    def test_record_payload_is_stamped(self):
+        payload = _record(delivery_ratio=0.5).to_dict()
+        assert payload["schema_version"] == RECORD_SCHEMA_VERSION
+
+    def test_sweep_payload_is_stamped(self, tmp_path):
+        records = [_record(seed=1, delivery_ratio=0.4)]
+        result = SweepResult(records=records, replicated=aggregate_records(records))
+        path = tmp_path / "sweep.json"
+        sweep_to_json(path, result)
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == RECORD_SCHEMA_VERSION
+        assert payload["records"][0]["schema_version"] == RECORD_SCHEMA_VERSION
+
+    def test_record_from_dict_rejects_unknown_version(self):
+        payload = dict(_record().to_dict(), schema_version=99)
+        with pytest.raises(ValueError, match="schema_version 99"):
+            RunRecord.from_dict(payload)
+
+    def test_record_from_dict_rejects_non_integer_version(self):
+        payload = dict(_record().to_dict(), schema_version="two")
+        with pytest.raises(ValueError, match="non-integer"):
+            RunRecord.from_dict(payload)
+
+    def test_unstamped_legacy_record_still_loads(self):
+        payload = _record(delivery_ratio=0.5).to_dict()
+        del payload["schema_version"]
+        assert RunRecord.from_dict(payload) == _record(delivery_ratio=0.5)
+
+    def test_sweep_from_json_rejects_unknown_version(self, tmp_path):
+        records = [_record(seed=1)]
+        result = SweepResult(records=records, replicated=aggregate_records(records))
+        path = tmp_path / "sweep.json"
+        sweep_to_json(path, result)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="sweep artifact has schema_version 99"):
+            sweep_from_json(path)
+
+    def test_error_names_the_versions_this_build_reads(self):
+        with pytest.raises(ValueError) as excinfo:
+            RunRecord.from_dict(dict(_record().to_dict(), schema_version=99))
+        message = str(excinfo.value)
+        for version in KNOWN_RECORD_SCHEMA_VERSIONS:
+            assert str(version) in message

@@ -33,6 +33,9 @@ class TestParser:
         assert args.protocols == ["AODV", "Greedy"]
         assert args.seeds == [1, 2, 3]
         assert args.workers == 1
+        assert args.store is None
+        assert args.resume is True
+        assert args.shard is None
 
     def test_sweep_subcommand_accepts_seeds_and_workers(self):
         args = build_parser().parse_args(
@@ -41,6 +44,32 @@ class TestParser:
         assert args.seeds == [4, 5]
         assert args.workers == 2
         assert args.json == "out.json"
+
+    def test_sweep_store_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "Greedy", "--store", "mystore", "--no-resume", "--shard", "1/2"]
+        )
+        assert args.store == "mystore"
+        assert args.resume is False
+        assert args.shard == "1/2"
+
+    def test_sweep_workers_default_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        args = build_parser().parse_args(["sweep", "Greedy"])
+        assert args.workers == 3
+        # An explicit flag still wins over the environment.
+        args = build_parser().parse_args(["sweep", "Greedy", "--workers", "2"])
+        assert args.workers == 2
+        # Garbage in the variable falls back to the serial default.
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")
+        assert build_parser().parse_args(["sweep", "Greedy"]).workers == 1
+
+    def test_store_subcommand_parses(self):
+        args = build_parser().parse_args(["store", "verify", "somewhere"])
+        assert args.command == "store"
+        assert args.action == "verify"
+        assert args.store_dir == "somewhere"
+        assert args.limit is None
 
     def test_scenario_flag_parses(self):
         args = build_parser().parse_args(["run", "Greedy", "--scenario", "city-grid-2km-sparse"])
@@ -325,6 +354,66 @@ class TestCommands:
         loaded = sweep_from_json(json_path)
         assert len(loaded.records) == 4  # 2 protocols x 2 seeds
         assert {r.protocol for r in loaded.replicated} == {"Greedy", "Flooding"}
+
+    def test_sweep_store_resume_and_store_verbs(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        sweep_args = [
+            "sweep",
+            "Greedy",
+            "--seeds", "1", "2",
+            "--duration", "6",
+            "--max-vehicles", "15",
+            "--flows", "2",
+            "--packets-per-flow", "3",
+            "--density", "sparse",
+            "--store", str(store_dir),
+        ]
+        assert main(sweep_args) == 0
+        assert "executed 2 cell(s), reused 0" in capsys.readouterr().out
+        # Warm re-run: every cell comes from the store.
+        assert main(sweep_args) == 0
+        assert "executed 0 cell(s), reused 2" in capsys.readouterr().out
+
+        assert main(["store", "list", str(store_dir)]) == 0
+        listing = capsys.readouterr().out
+        assert "Greedy" in listing and "key" in listing
+
+        assert main(["store", "summary", str(store_dir)]) == 0
+        summary = capsys.readouterr().out
+        assert "delivery_ratio_mean" in summary
+        assert "total_cells=2" in summary
+
+        assert main(["store", "verify", str(store_dir)]) == 0
+        assert "store OK" in capsys.readouterr().out
+
+    def test_store_verify_flags_corruption(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert main(
+            [
+                "sweep",
+                "Greedy",
+                "--seeds", "1", "2",
+                "--duration", "6",
+                "--max-vehicles", "15",
+                "--flows", "2",
+                "--packets-per-flow", "3",
+                "--density", "sparse",
+                "--store", str(store_dir),
+            ]
+        ) == 0
+        capsys.readouterr()
+        records = store_dir / "records.jsonl"
+        lines = records.read_text().splitlines(keepends=True)
+        lines[0] = "{corrupt json\n"
+        records.write_text("".join(lines))
+        assert main(["store", "verify", str(store_dir)]) == 1
+        captured = capsys.readouterr()
+        assert "store NOT OK" in captured.out
+        assert "malformed" in captured.err
+
+    def test_store_on_missing_directory_fails_cleanly(self, capsys, tmp_path):
+        assert main(["store", "list", str(tmp_path / "nope")]) == 2
+        assert "not an experiment store directory" in capsys.readouterr().err
 
     def test_sweep_unknown_protocol_fails(self, capsys):
         assert main(["sweep", "Bogus"]) == 2
