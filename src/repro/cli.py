@@ -26,6 +26,8 @@ also runnable as ``python -m repro.cli``.  Subcommands:
     List the registered workload kinds and named presets.
 ``list-radios``
     List the registered radio kinds and named radio-stack presets.
+``list-monitors``
+    List the registered monitor kinds and named presets.
 ``lint``
     Run the determinism / registry-contract static analysis over a source
     tree (default: the installed ``repro`` package).
@@ -40,7 +42,9 @@ preset such as ``safety-beacon-10hz``; the default is ``cbr``) and the
 channel by ``--radio`` (a radio kind such as ``nakagami`` or a preset such
 as ``dsrc-urban-nlos``; the default is ``ideal-disk-250m``).  The ``sweep``
 subcommand accepts several workloads and several radios as extra matrix
-axes.
+axes.  Observability probes attach with ``--monitor`` (a fixed set per run,
+never a matrix axis; see ``list-monitors``) and stream JSONL telemetry to
+``--telemetry FILE``.
 """
 
 from __future__ import annotations
@@ -70,6 +74,13 @@ from repro.harness.scenarios import (
 )
 from repro.harness.sweep import HEADLINE_METRICS, sweep_protocols, sweep_replications
 from repro.mobility.generator import TrafficDensity
+from repro.monitors import (
+    JsonlFileSink,
+    available_monitor_presets,
+    available_monitors,
+    monitor_preset_rows,
+    monitor_rows,
+)
 from repro.protocols.registry import available_protocols
 from repro.radio.registry import (
     available_radio_presets,
@@ -145,6 +156,12 @@ def _build_scenario(args: argparse.Namespace) -> Scenario:
     backend = getattr(args, "spatial_backend", None)
     if isinstance(backend, str):
         explicit["spatial_backend"] = backend
+    # Monitors are a fixed per-run set on every subcommand (never a matrix
+    # axis), so the list lands on the scenario as-is.
+    monitor = getattr(args, "monitor", None)
+    if monitor:
+        explicit["monitors"] = tuple(monitor)
+        explicit["monitor_params"] = {}
 
     spec = getattr(args, "scenario", None)
     if spec and spec not in available_scenario_kinds():
@@ -263,6 +280,15 @@ def _add_scenario_arguments(
         "--buses", type=int, default=None,
         help="vehicles designated as buses (default: 0; presets keep their own)",
     )
+    parser.add_argument(
+        "--monitor", type=str, nargs="+", default=None, metavar="NAME",
+        help="observability monitors/probes attached to every run -- a fixed "
+             "set, not a matrix axis (see 'list-monitors')",
+    )
+    parser.add_argument(
+        "--telemetry", type=str, default=None, metavar="FILE",
+        help="stream monitor JSONL telemetry to this file (requires --monitor)",
+    )
     parser.add_argument("--csv", type=str, default=None, help="write the result rows to this CSV file")
 
 
@@ -306,6 +332,21 @@ def _check_radios(names: Sequence[str]) -> bool:
     return _check_names("radio", names, available_radios(), available_radio_presets())
 
 
+def _check_monitors(names: Sequence[str]) -> bool:
+    """Up-front monitor-name validation (see :func:`_check_names`)."""
+    return _check_names(
+        "monitor", names, available_monitors(), available_monitor_presets()
+    )
+
+
+def _check_telemetry(args: argparse.Namespace, scenario: Scenario) -> bool:
+    """--telemetry is meaningless without monitors; fail before building."""
+    if getattr(args, "telemetry", None) and not scenario.monitors:
+        print("--telemetry requires --monitor (nothing would be emitted)", file=sys.stderr)
+        return False
+    return True
+
+
 def _resolve_scenario(args: argparse.Namespace) -> Optional[Scenario]:
     """Build the scenario from the CLI arguments; print the failure and return None."""
     try:
@@ -330,6 +371,10 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
     if scenario.radio_stack and not _check_radios([scenario.radio_stack]):
         return 2
+    if scenario.monitors and not _check_monitors(list(scenario.monitors)):
+        return 2
+    if not _check_telemetry(args, scenario):
+        return 2
     runner = ExperimentRunner()
     profiler = None
     if getattr(args, "profile", None) is not None:
@@ -340,11 +385,11 @@ def _command_run(args: argparse.Namespace) -> int:
         if profiler is not None:
             profiler.enable()
             try:
-                result = runner.run(scenario, args.protocol)
+                result = runner.run(scenario, args.protocol, telemetry=args.telemetry)
             finally:
                 profiler.disable()
         else:
-            result = runner.run(scenario, args.protocol)
+            result = runner.run(scenario, args.protocol, telemetry=args.telemetry)
     except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -378,11 +423,23 @@ def _command_compare(args: argparse.Namespace) -> int:
         return 2
     if scenario.radio_stack and not _check_radios([scenario.radio_stack]):
         return 2
+    if scenario.monitors and not _check_monitors(list(scenario.monitors)):
+        return 2
+    if not _check_telemetry(args, scenario):
+        return 2
+    # One shared sink across the per-protocol runs: each run frames its own
+    # lines with run_start/run_end, so a single JSONL file stays parseable.
+    sink = JsonlFileSink(args.telemetry) if args.telemetry else None
     try:
-        results = sweep_protocols(scenario, args.protocols, runner=ExperimentRunner())
+        results = sweep_protocols(
+            scenario, args.protocols, runner=ExperimentRunner(), telemetry=sink
+        )
     except (ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    finally:
+        if sink is not None:
+            sink.close()
     rows = [_result_row(result) for result in results]
     print(format_table(rows, title=f"Comparison on {scenario.name}"))
     if args.csv:
@@ -408,6 +465,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
     elif scenario.radio_stack and not _check_radios([scenario.radio_stack]):
         return 2
     spatial_backends = args.spatial_backend if args.spatial_backend else None
+    monitors = args.monitor if args.monitor else None
+    if monitors and not _check_monitors(monitors):
+        return 2
+    if not _check_telemetry(args, scenario):
+        return 2
     try:
         result = sweep_replications(
             [scenario],
@@ -417,6 +479,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
             workloads=workloads,
             radios=radios,
             spatial_backends=spatial_backends,
+            monitors=monitors,
+            telemetry=args.telemetry,
             store=args.store,
             resume=args.resume,
             shard=args.shard,
@@ -540,6 +604,28 @@ def _command_list_workloads(_: argparse.Namespace) -> int:
     )
     print()
     print("Select traffic with --workload; 'sweep' accepts several as a matrix axis.")
+    return 0
+
+
+def _command_list_monitors(_: argparse.Namespace) -> int:
+    print(
+        format_table(
+            monitor_rows(), columns=["monitor", "description"], title="Monitor kinds"
+        )
+    )
+    print()
+    print(
+        format_table(
+            monitor_preset_rows(),
+            columns=["preset", "monitor", "description"],
+            title="Monitor presets",
+        )
+    )
+    print()
+    print(
+        "Attach probes with --monitor (a fixed set per run, never a matrix "
+        "axis); add --telemetry FILE for streaming JSONL."
+    )
     return 0
 
 
@@ -685,6 +771,11 @@ def build_parser() -> argparse.ArgumentParser:
         "list-workloads", help="list registered workload kinds and named presets"
     )
     workloads_parser.set_defaults(func=_command_list_workloads)
+
+    monitors_parser = subparsers.add_parser(
+        "list-monitors", help="list registered monitor kinds and named presets"
+    )
+    monitors_parser.set_defaults(func=_command_list_monitors)
 
     radios_parser = subparsers.add_parser(
         "list-radios", help="list registered radio kinds and named presets"

@@ -8,10 +8,15 @@ Cross-file checks over the whole lint run:
 * every concrete :class:`Workload` subclass under ``workloads/`` carries a
   ``@register_workload`` decoration, and every registered workload really
   subclasses ``Workload``;
+* every concrete :class:`Monitor` subclass under ``monitors/`` carries a
+  ``@register_monitor`` decoration (and vice versa), and its ``__init__``
+  defaults every parameter after ``self`` so presets and
+  ``monitor_from_name`` can override any subset by keyword;
 * preset names passed to ``register_preset`` /
-  ``register_workload_preset`` / ``register_radio_preset`` as string
-  literals follow the established kebab-case convention
-  (``city-grid-2km-sparse``, ``dsrc-urban-nlos``, ...);
+  ``register_workload_preset`` / ``register_radio_preset`` /
+  ``register_monitor_preset`` as string literals follow the established
+  kebab-case convention (``city-grid-2km-sparse``, ``dsrc-urban-nlos``,
+  ...);
 * ``@register_scenario`` builders accept exactly the contract signature
   ``(scenario, rng)``;
 * ``@register_radio`` builders take ``rng`` first with every other
@@ -35,7 +40,12 @@ from repro.devtools.registry import register_lint_rule
 
 #: Preset-registering callables whose first argument is the preset name.
 PRESET_REGISTRARS = frozenset(
-    {"register_preset", "register_workload_preset", "register_radio_preset"}
+    {
+        "register_preset",
+        "register_workload_preset",
+        "register_radio_preset",
+        "register_monitor_preset",
+    }
 )
 
 #: The established preset naming convention (``dsrc-urban-nlos``,
@@ -94,9 +104,9 @@ class RegistryContractRule(LintRule):
 
     severity = SEVERITY_ERROR
     rationale = (
-        "every concrete protocol/workload is registered, preset names are "
-        "kebab-case, and scenario/radio builders match their registry's "
-        "call contract"
+        "every concrete protocol/workload/monitor is registered, preset "
+        "names are kebab-case, and scenario/radio/monitor builders match "
+        "their registry's call contract"
     )
     historical_bug = (
         "PR 5: a radio builder that took its overrides positionally broke "
@@ -161,6 +171,7 @@ class RegistryContractRule(LintRule):
         facts = self._gather(project)
         yield from self._check_protocols(facts)
         yield from self._check_workloads(facts)
+        yield from self._check_monitors(facts)
         for module in project.modules:
             yield from self._check_presets_and_builders(module)
 
@@ -206,6 +217,59 @@ class RegistryContractRule(LintRule):
                     f"@register_workload on {name}, which does not subclass "
                     "Workload; the registry contract requires the Workload "
                     "build(scenario, built, rng) interface",
+                )
+
+    def _check_monitors(self, facts: _ProjectFacts) -> Iterator[Finding]:
+        for name, fact in sorted(facts.classes.items()):
+            if not fact.module.relpath.startswith("monitors/"):
+                continue
+            is_monitor = name != "Monitor" and self._subclasses(
+                facts, name, "Monitor"
+            )
+            registered = "register_monitor" in fact.decorators
+            if is_monitor and not registered and name not in facts.base_names:
+                yield self.report(
+                    fact.module,
+                    fact.node,
+                    f"concrete Monitor subclass {name} lacks "
+                    "@register_monitor(...); unregistered monitors cannot be "
+                    "attached by name via Scenario.monitors or --monitor",
+                )
+            elif registered and not is_monitor:
+                yield self.report(
+                    fact.module,
+                    fact.node,
+                    f"@register_monitor on {name}, which does not subclass "
+                    "Monitor; the registry contract requires the event-tap "
+                    "on_* hook interface",
+                )
+            if registered:
+                yield from self._check_monitor_init(fact)
+
+    def _check_monitor_init(self, fact: _ClassFact) -> Iterator[Finding]:
+        """Registered monitors must default every __init__ parameter."""
+        for statement in fact.node.body:
+            if (
+                not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+                or statement.name != "__init__"
+            ):
+                continue
+            required = _required_positional(statement.args)
+            undefaulted_kwonly = [
+                arg
+                for arg, default in zip(
+                    statement.args.kwonlyargs, statement.args.kw_defaults
+                )
+                if default is None
+            ]
+            # ``self`` is the one allowed undefaulted parameter.
+            if len(required) > 1 or undefaulted_kwonly or statement.args.vararg:
+                yield self.report(
+                    fact.module,
+                    statement,
+                    f"monitor builder {fact.node.name}.__init__ must default "
+                    "every parameter after self, so monitor_from_name and "
+                    "presets can override any subset by keyword",
                 )
 
     def _check_presets_and_builders(self, module: ParsedModule) -> Iterator[Finding]:

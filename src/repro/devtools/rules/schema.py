@@ -1,4 +1,6 @@
-"""SCHEMA-001: record-layout changes must bump the record schema version.
+"""SCHEMA-001/002: schema-stamped formats must version their layout changes.
+
+SCHEMA-001: record-layout changes must bump the record schema version.
 
 The experiment store persists every :class:`~repro.harness.runner.RunRecord`
 to disk with an explicit ``schema_version`` stamp, and readers refuse
@@ -17,6 +19,13 @@ This cross-file rule pins the two ends together syntactically:
   version contiguously from 1 -- gaps would make the "known versions"
   error message lie.
 
+SCHEMA-002 applies the same discipline to the streaming monitor telemetry
+(:mod:`repro.monitors.telemetry`): ``TELEMETRY_FIELDS`` must be a literal
+catalogue containing the current ``TELEMETRY_SCHEMA_VERSION``, covering
+every version contiguously from 1, and every version's envelope must keep
+the ``v`` key (without it :func:`check_telemetry_schema_version` cannot
+even identify the line's format).
+
 Purely syntactic (AST only); when either module is absent from the lint
 run (partial trees, test fixtures) the rule stays silent.
 """
@@ -34,6 +43,8 @@ from repro.devtools.registry import register_lint_rule
 SCHEMA_RELPATH = "store/schema.py"
 #: Where the RunRecord dataclass lives.
 RUNNER_RELPATH = "harness/runner.py"
+#: Where the streaming telemetry schema contract lives.
+TELEMETRY_RELPATH = "monitors/telemetry.py"
 
 
 def _int_constant(node: ast.expr) -> Optional[int]:
@@ -186,3 +197,89 @@ class RecordSchemaVersionRule(LintRule):
                 "RECORD_SCHEMA_VERSION and add the new layout to "
                 "RECORD_FIELDS in store/schema.py",
             )
+
+
+@register_lint_rule("SCHEMA-002")
+class TelemetrySchemaVersionRule(LintRule):
+    """Telemetry envelope drift without a TELEMETRY_SCHEMA_VERSION bump."""
+
+    severity = SEVERITY_ERROR
+    rationale = (
+        "every streaming telemetry line is stamped with "
+        "TELEMETRY_SCHEMA_VERSION: changing the envelope requires bumping "
+        "the version and cataloguing the new envelope in TELEMETRY_FIELDS"
+    )
+    historical_bug = (
+        "PR 9: the store's schema stamp initially floated free of the layout "
+        "it claimed to describe; the telemetry stream starts life with the "
+        "same stamp-to-catalogue pin instead of rediscovering that bug"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        telemetry_module: Optional[ParsedModule] = None
+        for module in project.modules:
+            if module.relpath == TELEMETRY_RELPATH:
+                telemetry_module = module
+                break
+        if telemetry_module is None:
+            # Partial lint run (fixtures, single files): nothing to check.
+            return
+
+        version: Optional[int] = None
+        version_node: Optional[ast.expr] = None
+        catalogue: Optional[Dict[int, Tuple[str, ...]]] = None
+        catalogue_node: Optional[ast.expr] = None
+        for statement in telemetry_module.tree.body:
+            value = _assign_value(statement, "TELEMETRY_SCHEMA_VERSION")
+            if value is not None:
+                version = _int_constant(value)
+                version_node = value
+            value = _assign_value(statement, "TELEMETRY_FIELDS")
+            if value is not None and isinstance(value, ast.Dict):
+                catalogue_node = value
+                catalogue = {}
+                for key_node, value_node in zip(value.keys, value.values):
+                    key = _int_constant(key_node) if key_node is not None else None
+                    fields = _str_tuple(value_node)
+                    if key is None or fields is None:
+                        catalogue = None
+                        break
+                    catalogue[key] = fields
+        if version is None or version_node is None:
+            return
+        if catalogue is None or catalogue_node is None:
+            yield self.report(
+                telemetry_module,
+                version_node,
+                "TELEMETRY_FIELDS must be a literal dict of "
+                "{int version: (key, ...)} so SCHEMA-002 can pin the "
+                "telemetry envelope to TELEMETRY_SCHEMA_VERSION",
+            )
+            return
+
+        if version not in catalogue:
+            yield self.report(
+                telemetry_module,
+                version_node,
+                f"TELEMETRY_SCHEMA_VERSION is {version} but TELEMETRY_FIELDS "
+                f"has no entry for version {version}; every shipped version "
+                "needs its envelope catalogued",
+            )
+        expected = sorted(range(1, max(catalogue) + 1)) if catalogue else []
+        if sorted(catalogue) != expected:
+            yield self.report(
+                telemetry_module,
+                catalogue_node,
+                "TELEMETRY_FIELDS versions must be contiguous from 1 "
+                f"(got {sorted(catalogue)}); gaps make the known-versions "
+                "error message of check_telemetry_schema_version lie",
+            )
+        for catalogued_version, keys in sorted(catalogue.items()):
+            if "v" not in keys:
+                yield self.report(
+                    telemetry_module,
+                    catalogue_node,
+                    f"TELEMETRY_FIELDS[{catalogued_version}] omits the 'v' "
+                    "key; without it check_telemetry_schema_version cannot "
+                    "even identify a line's format",
+                )

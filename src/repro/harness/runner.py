@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.mobility.vehicle import VehiclePositionProvider
+from repro.monitors import monitor_from_name
+from repro.monitors.base import Monitor
+from repro.monitors.telemetry import TelemetrySink, resolve_sink, telemetry_line
 from repro.protocols.base import ProtocolConfig
 from repro.protocols.location import LocationService
 from repro.protocols.registry import make_protocol_factory
@@ -189,6 +192,9 @@ class BuiltScenario:
         trace: EventTrace,
         radio_range_m: Optional[float] = None,
         radio_name: str = DEFAULT_RADIO,
+        monitors: Sequence["Monitor"] = (),
+        telemetry_sink: Optional["TelemetrySink"] = None,
+        telemetry_owned: bool = False,
     ) -> None:
         self.scenario = scenario
         self.sim = sim
@@ -197,6 +203,14 @@ class BuiltScenario:
         self.vehicle_nodes = vehicle_nodes
         self.road_graph = road_graph
         self.trace = trace
+        #: Monitor probes bound to this run (empty for unmonitored runs);
+        #: the runner finalizes them after ``sim.run`` and merges their
+        #: summaries into ``RunResult.extra``.
+        self.monitors: Tuple["Monitor", ...] = tuple(monitors)
+        #: Telemetry sink the monitors emit into, and whether this build
+        #: created it (and must therefore close it after the run).
+        self.telemetry_sink = telemetry_sink
+        self.telemetry_owned = telemetry_owned
         #: Nominal radio range of the run's resolved radio stack, cached at
         #: build time (the shadowed models solve it by bisection).  This is
         #: the range workloads must use for reachability denominators and
@@ -227,7 +241,13 @@ class ExperimentRunner:
         self.trace_max_records = trace_max_records
 
     # ------------------------------------------------------------------ build
-    def build(self, scenario: Scenario, prebuilt=None) -> BuiltScenario:
+    def build(
+        self,
+        scenario: Scenario,
+        prebuilt=None,
+        telemetry=None,
+        run_context: Optional[Dict[str, object]] = None,
+    ) -> BuiltScenario:
         """Instantiate the mobility, radio, network and infrastructure of a scenario.
 
         ``prebuilt`` is an optional
@@ -237,6 +257,12 @@ class ExperimentRunner:
         the mobility build entirely; everything downstream is byte-exact
         with a monolithic build because the adopted stream continues from
         the same state and the staged objects carry the same floats.
+
+        ``telemetry`` is a sink spec for monitor JSONL telemetry (a path,
+        callable, :class:`~repro.monitors.telemetry.TelemetrySink`, or
+        ``None``); it is only consulted when ``scenario.monitors`` is
+        non-empty.  ``run_context`` carries extra fields (e.g. the
+        protocol name) for the ``run_start`` telemetry header.
         """
         sim = Simulator(seed=scenario.seed)
         if prebuilt is not None:
@@ -251,6 +277,39 @@ class ExperimentRunner:
         # legacy RadioConfig shim; random channel models draw from the
         # simulator's "radio" stream.
         radio_stack = stack_for_scenario(scenario, sim.rng.stream("radio"))
+        # Monitor probes resolve by name through the monitor registry and
+        # attach to the sim core via the event tap.  This happens *before*
+        # the network is populated so probes observe the initial node_join
+        # events; with no monitors the tap stays None and the sim core
+        # pays only a truthy check per event.
+        monitors: List[Monitor] = []
+        telemetry_sink: Optional[TelemetrySink] = None
+        telemetry_owned = False
+        if scenario.monitors:
+            from repro.sim.tap import EventTap
+
+            telemetry_sink, telemetry_owned = resolve_sink(telemetry)
+            for name in scenario.monitors:
+                params = dict(scenario.monitor_params.get(name, {}))
+                monitors.append(monitor_from_name(name, **params))
+            for monitor in monitors:
+                monitor.bind(stats, telemetry_sink)
+            stats.tap = EventTap(sim, monitors)
+            if telemetry_sink is not None:
+                context = dict(run_context or {})
+                telemetry_sink.write(
+                    telemetry_line(
+                        "run_start",
+                        0.0,
+                        "harness",
+                        scenario=scenario.name,
+                        seed=scenario.seed,
+                        workload=scenario.workload,
+                        radio=radio_stack.name,
+                        monitors=list(scenario.monitors),
+                        **context,
+                    )
+                )
         medium = WirelessMedium(
             sim,
             stack=radio_stack,
@@ -326,6 +385,9 @@ class ExperimentRunner:
             trace,
             radio_range_m=radio_stack.nominal_range_m(),
             radio_name=radio_stack.name,
+            monitors=monitors,
+            telemetry_sink=telemetry_sink,
+            telemetry_owned=telemetry_owned,
         )
 
     # -------------------------------------------------------------------- run
@@ -335,6 +397,7 @@ class ExperimentRunner:
         protocol_name: str,
         protocol_config: Optional[ProtocolConfig] = None,
         prebuilt=None,
+        telemetry=None,
     ) -> RunResult:
         """Run ``protocol_name`` through ``scenario`` and return the metrics.
 
@@ -342,10 +405,18 @@ class ExperimentRunner:
         default reproduces the classic ``FlowSpec`` unicast flows, while any
         other registered kind or preset (``safety-beacon``, ``v2i``, ...)
         schedules its own traffic shape through the same protocol API.
-        ``prebuilt`` forwards a staged mobility substrate to :meth:`build`.
+        ``prebuilt`` forwards a staged mobility substrate to :meth:`build`;
+        ``telemetry`` forwards a monitor telemetry sink spec (path,
+        callable, or sink -- only consulted when ``scenario.monitors`` is
+        non-empty).
         """
         started_wall = time.perf_counter()
-        built = self.build(scenario, prebuilt=prebuilt)
+        built = self.build(
+            scenario,
+            prebuilt=prebuilt,
+            telemetry=telemetry,
+            run_context={"protocol": protocol_name},
+        )
         location_service = LocationService(
             built.network, rng=built.sim.rng.stream("location")
         )
@@ -366,6 +437,19 @@ class ExperimentRunner:
         summary = built.stats.summary()
         extra = self._derive_extra(built, flows)
         extra.update(workload.extra_metrics(built))
+        # Monitor teardown: flush probes, merge their summaries, close an
+        # owned sink.  The invariant probe hard-fails here on violations;
+        # the sink is closed either way so partial telemetry survives.
+        try:
+            for monitor in built.monitors:
+                extra.update(monitor.finalize(built.sim.now))
+            if built.telemetry_sink is not None:
+                built.telemetry_sink.write(
+                    telemetry_line("run_end", built.sim.now, "harness")
+                )
+        finally:
+            if built.telemetry_owned and built.telemetry_sink is not None:
+                built.telemetry_sink.close()
         result = RunResult(
             scenario_name=scenario.name,
             protocol=protocol_name,

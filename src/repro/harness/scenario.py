@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.mobility.generator import TrafficDensity
 from repro.mobility.highway import HighwayConfig
@@ -144,6 +144,15 @@ class Scenario:
             ``"vectorized"`` (grid index plus a struct-of-arrays position
             store evaluating per-frame physics as numpy array expressions;
             byte-identical traces to the other two, requires numpy).
+        monitors: Observability probes attached to the run, resolved by
+            name through the monitor registry (:mod:`repro.monitors`):
+            kinds such as ``"latency-dist"``, ``"timeseries"``,
+            ``"heatmap"``, ``"invariant"`` or presets such as
+            ``"invariant-strict"``.  Empty (the default) leaves the sim
+            core's event tap uninstalled, so unmonitored runs stay
+            byte-identical and pay only a truthy check per event.
+        monitor_params: Per-monitor keyword overrides, keyed by the name
+            used in ``monitors`` (on top of a preset's own parameters).
     """
 
     name: str = "scenario"
@@ -170,6 +179,8 @@ class Scenario:
     flow_template: FlowSpec = field(default_factory=FlowSpec)
     mobility_step_s: float = 0.5
     spatial_backend: str = "grid"
+    monitors: Tuple[str, ...] = ()
+    monitor_params: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Tolerate enum-like kinds (e.g. code written against the retired

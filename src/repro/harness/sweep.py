@@ -33,6 +33,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Ty
 from repro.harness.runner import ExperimentRunner, RunRecord, RunResult
 from repro.harness.scenario import Scenario
 from repro.mobility.generator import TrafficDensity
+from repro.monitors.telemetry import BufferSink, resolve_sink
 from repro.protocols.base import ProtocolConfig
 from repro.radio.registry import DEFAULT_RADIO
 from repro.store.keys import cell_key, code_version, parse_shard, shard_of
@@ -182,6 +183,35 @@ def run_cell(cell: SweepCell) -> RunRecord:
     runner = ExperimentRunner()
     result = runner.run(cell.scenario, cell.protocol, protocol_config=cell.protocol_config)
     return result.to_record()
+
+
+@dataclass
+class MonitoredCellOutcome:
+    """A cell's record plus the telemetry lines its monitors emitted.
+
+    Workers buffer telemetry in memory and ship it back alongside the
+    record; the parent's in-order ``on_result`` hook writes the lines to
+    the sweep's sink.  Because that hook always fires in cell order (in
+    both the serial and the pool path of :func:`execute_cells`), the
+    telemetry file of a ``workers=N`` sweep is byte-identical to the
+    serial one.
+    """
+
+    record: RunRecord
+    telemetry: List[str] = field(default_factory=list)
+
+
+def run_cell_telemetry(cell: SweepCell) -> MonitoredCellOutcome:
+    """Like :func:`run_cell`, but captures the run's telemetry lines."""
+    sink = BufferSink()
+    runner = ExperimentRunner()
+    result = runner.run(
+        cell.scenario,
+        cell.protocol,
+        protocol_config=cell.protocol_config,
+        telemetry=sink,
+    )
+    return MonitoredCellOutcome(record=result.to_record(), telemetry=list(sink.lines))
 
 
 def execute_cells(
@@ -430,6 +460,9 @@ def sweep_replications(
     store: Optional[Union[str, Path, ExperimentStore]] = None,
     resume: bool = True,
     shard: Optional[Union[str, Tuple[int, int]]] = None,
+    monitors: Optional[Sequence[str]] = None,
+    monitor_params: Optional[Dict[str, Dict[str, object]]] = None,
+    telemetry: Optional[Union[str, Path]] = None,
 ) -> SweepResult:
     """Run the scenario x protocol x workload x radio x seed matrix.
 
@@ -461,7 +494,39 @@ def sweep_replications(
     Every machine computes the same partition independently, so ``N``
     machines each running one shard into their own store cover the matrix
     exactly once with no coordination; union the stores afterwards.
+
+    ``monitors`` attaches the given monitor kinds/presets (resolved by
+    name through :mod:`repro.monitors`) to *every* cell -- a fixed
+    observability set, not a matrix axis -- with optional per-monitor
+    ``monitor_params`` overrides.  Their summary metrics land in each
+    record's ``extra`` and therefore in the aggregates and artifacts.
+    ``telemetry`` names a JSONL file that receives every executed cell's
+    streaming telemetry, written by the parent in cell order (so serial
+    and parallel sweeps produce byte-identical files); cells reused from
+    the store emit no telemetry (they did not run).
     """
+    if monitors:
+        monitor_set = tuple(monitors)
+        params = dict(monitor_params or {})
+        unknown = sorted(set(params) - set(monitor_set))
+        if unknown:
+            raise ValueError(
+                f"monitor_params for monitors not in the sweep's monitor set: {unknown}"
+            )
+        scenarios = [
+            scenario.with_overrides(monitors=monitor_set, monitor_params=params)
+            for scenario in scenarios
+        ]
+    elif monitor_params:
+        raise ValueError("monitor_params given without monitors")
+    collect_telemetry = telemetry is not None and bool(monitors)
+    if telemetry is not None and not monitors:
+        raise ValueError("telemetry sink given without monitors")
+    if collect_telemetry and shared_mobility:
+        raise ValueError(
+            "telemetry collection is not supported with shared_mobility "
+            "(the staged-cell worker returns bare records)"
+        )
     cells = build_matrix(
         scenarios,
         protocol_names,
@@ -519,6 +584,7 @@ def sweep_replications(
                     "spatial_backends": (
                         list(spatial_backends) if spatial_backends is not None else None
                     ),
+                    "monitors": list(monitors) if monitors else None,
                     "total_cells": total_cells,
                     "shard": shard_spec,
                 },
@@ -538,13 +604,27 @@ def sweep_replications(
         pending_cells = list(cells)
         pending_keys = []
 
-    on_result: Optional[Callable[[int, RunRecord], None]] = None
-    if exp_store is not None:
-        def _stream_append(index: int, record: RunRecord) -> None:
-            assert exp_store is not None
-            exp_store.append(pending_keys[index], record)
+    telemetry_sink, telemetry_owned = (
+        resolve_sink(telemetry) if collect_telemetry else (None, False)
+    )
 
-        on_result = _stream_append
+    def _unwrap(outcome) -> RunRecord:
+        return outcome.record if isinstance(outcome, MonitoredCellOutcome) else outcome
+
+    on_result: Optional[Callable[[int, object], None]] = None
+    if exp_store is not None or telemetry_sink is not None:
+        # Both the store append and the telemetry write run in the parent,
+        # in cell order (the execute_cells contract): a hard kill stops the
+        # files at a line boundary, and workers=N telemetry is byte-equal
+        # to serial because ordering never depends on worker completion.
+        def _stream_result(index: int, outcome) -> None:
+            if telemetry_sink is not None and isinstance(outcome, MonitoredCellOutcome):
+                for line in outcome.telemetry:
+                    telemetry_sink.write(line)
+            if exp_store is not None:
+                exp_store.append(pending_keys[index], _unwrap(outcome))
+
+        on_result = _stream_result
 
     try:
         if shared_mobility:
@@ -567,19 +647,23 @@ def sweep_replications(
                     # with the arena (worker processes die with the pool).
                     shared_build.detach_all()
         else:
+            worker = run_cell_telemetry if collect_telemetry else run_cell
             fresh = execute_cells(
-                pending_cells, run_cell, workers=workers, on_result=on_result
+                pending_cells, worker, workers=workers, on_result=on_result
             )
     finally:
         if exp_store is not None:
             exp_store.close()
+        if telemetry_owned and telemetry_sink is not None:
+            telemetry_sink.close()
 
+    fresh_records = [_unwrap(outcome) for outcome in fresh]
     if cached:
-        by_key = dict(zip(pending_keys, fresh))
+        by_key = dict(zip(pending_keys, fresh_records))
         assert keys is not None
         records = [cached[key] if key in cached else by_key[key] for key in keys]
     else:
-        records = fresh
+        records = fresh_records
     return SweepResult(
         records=records,
         replicated=aggregate_records(records),
@@ -594,13 +678,24 @@ def sweep_protocols(
     protocol_names: Sequence[str],
     runner: Optional[ExperimentRunner] = None,
     protocol_configs: Optional[Dict[str, ProtocolConfig]] = None,
+    telemetry=None,
 ) -> List[RunResult]:
-    """Run every protocol in ``protocol_names`` through the same scenario."""
+    """Run every protocol in ``protocol_names`` through the same scenario.
+
+    ``telemetry`` is forwarded to every run: pass one shared
+    :class:`~repro.monitors.telemetry.TelemetrySink` to collect all
+    protocols' monitor telemetry into a single stream (each run frames
+    its lines with ``run_start``/``run_end`` events).
+    """
     runner = runner if runner is not None else ExperimentRunner()
     configs = protocol_configs or {}
     results: List[RunResult] = []
     for name in protocol_names:
-        results.append(runner.run(scenario, name, protocol_config=configs.get(name)))
+        results.append(
+            runner.run(
+                scenario, name, protocol_config=configs.get(name), telemetry=telemetry
+            )
+        )
     return results
 
 

@@ -456,6 +456,11 @@ class WirelessMedium:
         ):
             self._max_tx_power_dbm = sender.tx_power_dbm
         self.stats.transmission(packet)
+        tap = self.stats.tap
+        if tap is not None:
+            # The medium, not the collector, owns the sender position the
+            # heatmap probe wants -- this is the one tap site outside stats.
+            tap.transmission(packet, sender.node_id, transmission.sender_position)
         if self.trace.enabled:
             self.trace.record(
                 now,

@@ -123,6 +123,9 @@ class Network:
         if kind is NodeKind.RSU:
             self._rsu_grid().insert(identifier, node.position)
         self.medium.register(node)
+        tap = self.stats.tap
+        if tap is not None:
+            tap.node_join(identifier, kind.name.lower())
         return node
 
     def remove_node(self, node_id: int) -> None:
@@ -144,6 +147,9 @@ class Network:
                 node.protocol.stop()
             if node.mac is not None:
                 node.mac.shutdown()
+            tap = self.stats.tap
+            if tap is not None:
+                tap.node_leave(node_id)
 
     def node(self, node_id: int) -> Node:
         """Look up a node by id."""

@@ -16,9 +16,12 @@ collector therefore tracks, per simulation run:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.tap import EventTap
 
 
 @dataclass
@@ -135,6 +138,10 @@ class StatsCollector:
     """Accumulates counters for one simulation run."""
 
     def __init__(self) -> None:
+        #: Optional monitor event tap (:class:`repro.sim.tap.EventTap`).
+        #: ``None`` for unmonitored runs, so every emission site below pays
+        #: only an attribute load and a truthy check.
+        self.tap: Optional["EventTap"] = None
         self.flows: Dict[int, FlowStats] = {}
         # Transmission counters (every frame handed to the channel).
         self.data_transmissions = 0
@@ -186,7 +193,10 @@ class StatsCollector:
             return
         flow = self.register_flow(packet.flow_id, packet.source, packet.destination)
         flow.sent += 1
-        flow.offered += expected_receivers if expected_receivers is not None else 1
+        offered = expected_receivers if expected_receivers is not None else 1
+        flow.offered += offered
+        if self.tap is not None:
+            self.tap.packet_originated(packet, flow, offered)
 
     def data_delivered(
         self, packet: Packet, now: float, receiver: Optional[int] = None
@@ -207,6 +217,7 @@ class StatsCollector:
             return False
         flow = self.register_flow(packet.flow_id, packet.source, packet.destination)
         key = packet.flow_key
+        delay = max(0.0, now - packet.created_at)
         if flow.mode == "broadcast" and receiver is not None:
             # Broadcast dedup is per (receiver, packet), grouped by packet so
             # retire() can drop a whole packet's entries once it leaves
@@ -214,19 +225,25 @@ class StatsCollector:
             receivers = flow._receivers_by_key.setdefault(key, set())
             if receiver in receivers:
                 flow.duplicates += 1
+                if self.tap is not None:
+                    self.tap.packet_delivered(packet, flow, receiver, False, delay)
                 return False
             receivers.add(receiver)
         else:
             if key in flow._delivered_seqs:
                 flow.duplicates += 1
+                if self.tap is not None:
+                    self.tap.packet_delivered(packet, flow, receiver, False, delay)
                 return False
             flow._delivered_seqs.add(key)
         flow.delivered += 1
-        flow.delays.append(max(0.0, now - packet.created_at))
+        flow.delays.append(delay)
         # ``hop_count`` is incremented by every *forwarder*; the originator's
         # own transmission is the first link, so the traversed link count is
         # one more than the forward count.
         flow.hop_counts.append(packet.hop_count + 1)
+        if self.tap is not None:
+            self.tap.packet_delivered(packet, flow, receiver, True, delay)
         return True
 
     def packet_retired(self, flow_id: int, key: Tuple) -> None:
@@ -240,6 +257,8 @@ class StatsCollector:
         flow = self.flows.get(flow_id)
         if flow is not None:
             flow.retire(key)
+        if self.tap is not None:
+            self.tap.packet_retired(flow_id, key, flow is not None)
 
     @property
     def dedup_entries(self) -> int:
@@ -269,26 +288,38 @@ class StatsCollector:
         one call; the scalar paths record them one at a time.
         """
         self.mac_collisions += count
+        if self.tap is not None:
+            self.tap.collision(count)
 
     def weak_signal(self) -> None:
         """Record a frame below the receiver sensitivity at some receiver."""
         self.phy_weak_signal += 1
+        if self.tap is not None:
+            self.tap.packet_dropped("weak_signal")
 
     def queue_drop(self) -> None:
         """Record a frame dropped because a MAC queue overflowed."""
         self.mac_queue_drops += 1
+        if self.tap is not None:
+            self.tap.packet_dropped("queue")
 
     def ttl_drop(self) -> None:
         """Record a packet discarded because its TTL expired."""
         self.ttl_drops += 1
+        if self.tap is not None:
+            self.tap.packet_dropped("ttl")
 
     def no_route_drop(self) -> None:
         """Record a data packet dropped for lack of a route / next hop."""
         self.no_route_drops += 1
+        if self.tap is not None:
+            self.tap.packet_dropped("no_route")
 
     def buffer_drop(self) -> None:
         """Record a packet evicted from a protocol buffer (store-carry-forward)."""
         self.buffer_drops += 1
+        if self.tap is not None:
+            self.tap.packet_dropped("buffer")
 
     def store_carry(self) -> None:
         """Record a packet being buffered for store-carry-forward."""

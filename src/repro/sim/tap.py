@@ -1,0 +1,128 @@
+"""Lightweight event-tap seam between the sim core and monitor probes.
+
+The simulator's hot paths (:class:`~repro.sim.statistics.StatsCollector`
+counter methods, :meth:`WirelessMedium.begin_transmission`, node
+join/leave in :class:`~repro.sim.network.Network`) carry a single
+``if tap is not None:`` guard.  When no monitors are registered the tap
+is ``None`` and every call site pays one attribute load and a truthy
+check -- nothing else.  When monitors *are* registered, an
+:class:`EventTap` fans each lifecycle event out to every monitor's
+``on_*`` handler, stamping it with the simulator clock.
+
+The tap deliberately exposes a *semantic* event stream (packet
+originated / delivered / dropped / retired, transmission, collision,
+node join/leave) rather than raw frames: the events mirror exactly what
+the :class:`StatsCollector` already counts, so a probe that consumes the
+tap can reconcile its own view against the collector's totals -- the
+basis of the conservation-invariant probe.
+
+Drops are *count-only* events tagged with a reason string: the fifty-odd
+protocol call sites that report ``ttl``/``no_route``/``queue``/
+``buffer``/``weak_signal`` drops do not carry the packet, and the tap
+does not pretend otherwise.
+
+Monitors must stay **passive**: they never schedule events, touch the
+RNG, or mutate sim state.  A monitored run therefore produces traces and
+metrics byte-identical to an unmonitored one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim <-> monitors)
+    from repro.geometry import Vec2
+    from repro.monitors.base import Monitor
+    from repro.sim.engine import Simulator
+    from repro.sim.packet import Packet
+    from repro.sim.statistics import FlowStats
+
+
+class EventTap:
+    """Fans sim-core lifecycle events out to a fixed list of monitors.
+
+    One tap per run, built by the harness when ``Scenario.monitors`` is
+    non-empty and installed as ``StatsCollector.tap``.  Every ``emit``
+    method reads the simulator clock itself, so the (many) stats call
+    sites do not need to thread ``now`` through.
+    """
+
+    __slots__ = ("sim", "monitors")
+
+    def __init__(self, sim: "Simulator", monitors: Sequence["Monitor"]):
+        self.sim = sim
+        self.monitors = tuple(monitors)
+
+    # ------------------------------------------------------------- lifecycle
+    def packet_originated(
+        self, packet: "Packet", flow: "FlowStats", expected_receivers: int
+    ) -> None:
+        """An application originated a data packet (after flow accounting)."""
+        now = self.sim.now
+        for monitor in self.monitors:
+            monitor.on_packet_originated(now, packet, flow, expected_receivers)
+
+    def packet_delivered(
+        self,
+        packet: "Packet",
+        flow: "FlowStats",
+        receiver: Optional[int],
+        new: bool,
+        delay: float,
+    ) -> None:
+        """A data packet reached a destination.
+
+        ``new`` is False for dedup-suppressed duplicates -- those are still
+        emitted (the invariant probe distinguishes a benign duplicate from
+        a delivery re-counted after retirement).
+        """
+        now = self.sim.now
+        for monitor in self.monitors:
+            monitor.on_packet_delivered(now, packet, flow, receiver, new, delay)
+
+    def packet_dropped(self, reason: str, count: int = 1) -> None:
+        """``count`` packets/frames dropped for ``reason`` (count-only)."""
+        now = self.sim.now
+        for monitor in self.monitors:
+            monitor.on_packet_dropped(now, reason, count)
+
+    def packet_retired(self, flow_id: int, key: Tuple, known: bool) -> None:
+        """A broadcast packet identity left flight (dedup state released).
+
+        ``known`` is False when the collector had no flow record for
+        ``flow_id`` -- the invariant probe treats that as suspicious.
+        """
+        now = self.sim.now
+        for monitor in self.monitors:
+            monitor.on_packet_retired(now, flow_id, key, known)
+
+    # --------------------------------------------------------------- channel
+    def transmission(
+        self,
+        packet: "Packet",
+        sender_id: int,
+        position: "Vec2",
+    ) -> None:
+        """A frame was handed to the wireless channel at ``position``."""
+        now = self.sim.now
+        for monitor in self.monitors:
+            monitor.on_transmission(now, packet, sender_id, position)
+
+    def collision(self, count: int) -> None:
+        """``count`` frames lost to interference at some receiver(s)."""
+        now = self.sim.now
+        for monitor in self.monitors:
+            monitor.on_collision(now, count)
+
+    # --------------------------------------------------------------- topology
+    def node_join(self, node_id: int, kind: str) -> None:
+        """A node registered with the network (``kind``: vehicle/bus/rsu...)."""
+        now = self.sim.now
+        for monitor in self.monitors:
+            monitor.on_node_join(now, node_id, kind)
+
+    def node_leave(self, node_id: int) -> None:
+        """A node was removed from the network mid-run."""
+        now = self.sim.now
+        for monitor in self.monitors:
+            monitor.on_node_leave(now, node_id)

@@ -79,9 +79,17 @@ class EventBurstWorkload(Workload):
         #: dedup; keyed per packet identity so expiring one warning releases
         #: its whole entry at once.
         rebroadcast_done: Dict[Tuple, Set[int]] = {}
+        #: Packet identities still inside their linger window.  The scope
+        #: set expires per *flow* (after the burst's last warning) but
+        #: retirement is per *packet* (SCOPE_LINGER_S after its own send);
+        #: a reception landing in that gap used to be re-counted against a
+        #: retired key, silently re-creating its dedup entry.  Receivers
+        #: consult this set, so a warning stops being countable at the
+        #: same instant its accounting state is released.
+        live_keys: Set[Tuple] = set()
         for node in built.network.nodes.values():
             node.app_frame_handler = self._make_receiver(
-                built, node, scopes, rebroadcast_done
+                built, node, scopes, rebroadcast_done, live_keys
             )
         # Both the trigger instants and the epicenter vehicles are drawn up
         # front in event order, so the draw sequence is independent of how
@@ -105,7 +113,7 @@ class EventBurstWorkload(Workload):
                 (
                     trigger_time,
                     self._trigger_event,
-                    (built, source, flow_id, scopes, rebroadcast_done),
+                    (built, source, flow_id, scopes, rebroadcast_done, live_keys),
                     0,
                 )
             )
@@ -121,6 +129,7 @@ class EventBurstWorkload(Workload):
         flow_id: int,
         scopes: Dict[int, Set[int]],
         rebroadcast_done: Dict[Tuple, Set[int]],
+        live_keys: Set[Tuple],
     ) -> None:
         """Freeze the scope set and start the warning burst."""
         in_scope = {
@@ -152,6 +161,7 @@ class EventBurstWorkload(Workload):
                 repeat + 1,
                 len(in_scope),
                 rebroadcast_done,
+                live_keys,
             )
         # The frozen scope expires on the safety-beacon linger bound after
         # the last warning of the burst: past it no reception of this event
@@ -166,6 +176,7 @@ class EventBurstWorkload(Workload):
         seq: int,
         expected: int,
         rebroadcast_done: Dict[Tuple, Set[int]],
+        live_keys: Set[Tuple],
     ) -> None:
         packet = make_data_packet(
             "app",
@@ -178,10 +189,16 @@ class EventBurstWorkload(Workload):
             ttl=self.flood_ttl,
         )
         packet.ptype = EVT_PTYPE
+        live_keys.add(packet.flow_key)
         built.stats.data_originated(packet, expected_receivers=expected)
         source.send(packet, BROADCAST)
-        # Same linger bound as the scope: release this warning's rebroadcast
-        # dedup entry and the stats collector's per-(receiver, packet) dedup.
+        # Same linger bound as the scope: stop counting receptions of this
+        # warning, then release its rebroadcast dedup entry and the stats
+        # collector's per-(receiver, packet) dedup.  The liveness discard is
+        # scheduled *first* so that at the expiry instant no receiver can
+        # observe a retired-but-still-countable key (that ordering is what
+        # keeps the conservation-invariant probe's ledger exact).
+        built.sim.schedule(SCOPE_LINGER_S, live_keys.discard, packet.flow_key)
         built.sim.schedule(
             SCOPE_LINGER_S, rebroadcast_done.pop, packet.flow_key, None
         )
@@ -195,12 +212,20 @@ class EventBurstWorkload(Workload):
         node: "Node",
         scopes: Dict[int, Set[int]],
         rebroadcast_done: Dict[Tuple, Set[int]],
+        live_keys: Set[Tuple],
     ):
         def receive(packet: "Packet", sender_id: int) -> bool:
             if packet.ptype != EVT_PTYPE:
                 return False
             in_scope = scopes.get(packet.flow_id)
             if in_scope is None:
+                return True
+            # The flow's scope may outlive an individual warning (the scope
+            # expires after the burst's *last* repeat, each warning lingers
+            # from its own send): once a warning's key left the live set its
+            # accounting state is retired, so the frame is consumed without
+            # being counted or relayed.
+            if packet.flow_key not in live_keys:
                 return True
             if node.node_id in in_scope:
                 built.stats.data_delivered(packet, built.sim.now, receiver=node.node_id)

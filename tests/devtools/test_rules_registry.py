@@ -78,11 +78,68 @@ class TestWorkloadRegistration:
         assert _hits(report) == [("REG-001", "workloads/beacon.py", 9)]
 
 
+class TestMonitorRegistration:
+    def test_unregistered_monitor_subclass_flagged(self):
+        src = (
+            "class Monitor:\n    pass\n\n\n"
+            "class FancyMonitor(Monitor):\n    pass\n"
+        )
+        report = lint_sources({"monitors/fancy.py": src}, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "monitors/fancy.py", 5)]
+
+    def test_registered_monitor_clean(self):
+        src = (
+            "class Monitor:\n    pass\n\n\n"
+            "@register_monitor('fancy')\n"
+            "class FancyMonitor(Monitor):\n    pass\n"
+        )
+        report = lint_sources({"monitors/fancy.py": src}, select=["REG-001"])
+        assert report.clean
+
+    def test_registered_non_monitor_flagged(self):
+        src = "@register_monitor('fancy')\nclass Fancy:\n    pass\n"
+        report = lint_sources({"monitors/fancy.py": src}, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "monitors/fancy.py", 2)]
+
+    def test_monitor_outside_monitors_dir_exempt(self):
+        src = (
+            "class Monitor:\n    pass\n\n\n"
+            "class HelperMonitor(Monitor):\n    pass\n"
+        )
+        report = lint_sources({"harness/helper.py": src}, select=["REG-001"])
+        assert report.clean
+
+    def test_monitor_init_with_undefaulted_param_flagged(self):
+        src = (
+            "class Monitor:\n    pass\n\n\n"
+            "@register_monitor('fancy')\n"
+            "class FancyMonitor(Monitor):\n"
+            "    def __init__(self, bucket_s):\n        pass\n"
+        )
+        report = lint_sources({"monitors/fancy.py": src}, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "monitors/fancy.py", 7)]
+
+    def test_monitor_init_all_defaulted_clean(self):
+        src = (
+            "class Monitor:\n    pass\n\n\n"
+            "@register_monitor('fancy')\n"
+            "class FancyMonitor(Monitor):\n"
+            "    def __init__(self, bucket_s=1.0, *, strict=False):\n        pass\n"
+        )
+        report = lint_sources({"monitors/fancy.py": src}, select=["REG-001"])
+        assert report.clean
+
+
 class TestPresetNamingAndBuilders:
     def test_non_kebab_preset_name_flagged(self):
         src = "register_workload_preset('Safety_Beacon', make, 'desc', 'beacon')\n"
         report = lint_sources({"workloads/presets.py": src}, select=["REG-001"])
         assert _hits(report) == [("REG-001", "workloads/presets.py", 1)]
+
+    def test_non_kebab_monitor_preset_flagged(self):
+        src = "register_monitor_preset('Latency_Fine', make, 'desc')\n"
+        report = lint_sources({"monitors/presets.py": src}, select=["REG-001"])
+        assert _hits(report) == [("REG-001", "monitors/presets.py", 1)]
 
     def test_kebab_preset_name_clean(self):
         src = "register_radio_preset('dsrc-urban-nlos', build, 'desc')\n"

@@ -1,4 +1,4 @@
-"""SCHEMA-001 fixtures plus the live-tree regression."""
+"""SCHEMA-001/002 fixtures plus the live-tree regressions."""
 
 from pathlib import Path
 
@@ -139,3 +139,82 @@ class TestRecordSchemaVersionRule:
         }
         report = lint_sources(sources, select=["SCHEMA-001"])
         assert len(_hits(report)) == 1
+
+
+TELEMETRY_OK = (
+    "TELEMETRY_SCHEMA_VERSION = 1\n"
+    'TELEMETRY_FIELDS = {1: ("v", "event", "t", "monitor")}\n'
+)
+
+
+class TestTelemetrySchemaVersionRule:
+    def test_pinned_envelope_is_clean(self):
+        report = lint_sources(
+            {"monitors/telemetry.py": TELEMETRY_OK}, select=["SCHEMA-002"]
+        )
+        assert report.clean
+
+    def test_current_version_missing_from_catalogue_flagged(self):
+        telemetry = (
+            "TELEMETRY_SCHEMA_VERSION = 2\n"
+            'TELEMETRY_FIELDS = {1: ("v", "event", "t", "monitor")}\n'
+        )
+        report = lint_sources(
+            {"monitors/telemetry.py": telemetry}, select=["SCHEMA-002"]
+        )
+        hits = _hits(report, "SCHEMA-002")
+        assert hits == [("SCHEMA-002", "monitors/telemetry.py", 1)]
+        assert "no entry for version 2" in report.findings[0].message
+
+    def test_version_gap_flagged(self):
+        telemetry = (
+            "TELEMETRY_SCHEMA_VERSION = 3\n"
+            'TELEMETRY_FIELDS = {1: ("v",), 3: ("v",)}\n'
+        )
+        report = lint_sources(
+            {"monitors/telemetry.py": telemetry}, select=["SCHEMA-002"]
+        )
+        assert any("contiguous" in f.message for f in report.findings)
+
+    def test_envelope_without_version_key_flagged(self):
+        telemetry = (
+            "TELEMETRY_SCHEMA_VERSION = 1\n"
+            'TELEMETRY_FIELDS = {1: ("event", "t", "monitor")}\n'
+        )
+        report = lint_sources(
+            {"monitors/telemetry.py": telemetry}, select=["SCHEMA-002"]
+        )
+        assert any("omits the 'v' key" in f.message for f in report.findings)
+
+    def test_non_literal_catalogue_flagged(self):
+        telemetry = "TELEMETRY_SCHEMA_VERSION = 1\nTELEMETRY_FIELDS = make()\n"
+        report = lint_sources(
+            {"monitors/telemetry.py": telemetry}, select=["SCHEMA-002"]
+        )
+        assert any("literal dict" in f.message for f in report.findings)
+
+    def test_partial_lint_runs_stay_silent(self):
+        report = lint_sources(
+            {"monitors/other.py": "x = 1\n"}, select=["SCHEMA-002"]
+        )
+        assert report.clean
+
+    def test_live_tree_is_clean(self):
+        sources = {
+            "monitors/telemetry.py": (SRC / "monitors" / "telemetry.py").read_text(),
+        }
+        assert lint_sources(sources, select=["SCHEMA-002"]).clean
+
+    def test_live_tree_drift_is_flagged(self):
+        """Bumping the real version without cataloguing re-flags today."""
+        telemetry_text = (SRC / "monitors" / "telemetry.py").read_text()
+        drifted = telemetry_text.replace(
+            "TELEMETRY_SCHEMA_VERSION: int = 1",
+            "TELEMETRY_SCHEMA_VERSION: int = 2",
+            1,
+        )
+        assert drifted != telemetry_text
+        report = lint_sources(
+            {"monitors/telemetry.py": drifted}, select=["SCHEMA-002"]
+        )
+        assert len(_hits(report, "SCHEMA-002")) == 1

@@ -1,0 +1,145 @@
+"""Conservation-invariant probe: ledger semantics and the dedup-leak trap.
+
+The regression test at the bottom is the point of the probe: it
+deliberately re-creates the scope-TTL accounting bug (a delivery counted
+after its packet identity was retired silently re-creates the dedup
+entry) and watches the probe hard-fail on it.  The event-burst workload
+carried exactly this bug before its per-packet liveness fix.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.monitors import (
+    BufferSink,
+    ConservationInvariantMonitor,
+    InvariantViolationError,
+    check_telemetry_schema_version,
+)
+from repro.sim.packet import BROADCAST, make_data_packet
+from repro.sim.statistics import StatsCollector
+from repro.sim.tap import EventTap
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def _probe(**params):
+    probe = ConservationInvariantMonitor(**params)
+    clock = _Clock()
+    stats = StatsCollector()
+    sink = BufferSink()
+    probe.bind(stats, sink)
+    stats.tap = EventTap(clock, [probe])
+    return probe, clock, stats, sink
+
+
+def test_balanced_unicast_run_passes():
+    probe, clock, stats, _ = _probe()
+    for seq in (1, 2):
+        packet = make_data_packet("app", 1, 2, flow_id=1, seq=seq)
+        stats.data_originated(packet)
+        clock.now += 0.1
+        stats.data_delivered(packet, clock.now)
+    undelivered = make_data_packet("app", 1, 2, flow_id=1, seq=3)
+    stats.data_originated(undelivered)
+    summary = probe.finalize(clock.now)
+    assert summary["invariant_violations"] == 0.0
+    assert summary["invariant_in_flight_final"] == 1.0
+
+
+def test_balanced_broadcast_run_passes():
+    probe, clock, stats, _ = _probe()
+    stats.register_flow(1, 1, BROADCAST, mode="broadcast")
+    packet = make_data_packet("app", 1, BROADCAST, flow_id=1, seq=1)
+    stats.data_originated(packet, expected_receivers=2)
+    clock.now = 0.5
+    stats.data_delivered(packet, clock.now, receiver=2)
+    stats.data_delivered(packet, clock.now, receiver=3)
+    clock.now = 1.0
+    stats.packet_retired(1, packet.flow_key)
+    summary = probe.finalize(clock.now)
+    assert summary["invariant_violations"] == 0.0
+    assert summary["invariant_in_flight_final"] == 0.0
+
+
+def test_lazy_checkpoints_follow_event_timestamps():
+    probe, clock, stats, sink = _probe(checkpoint_interval_s=1.0)
+    for seq, now in enumerate((0.2, 1.3, 3.7), start=1):
+        clock.now = now
+        packet = make_data_packet("app", 1, 2, flow_id=1, seq=seq)
+        stats.data_originated(packet)
+        stats.data_delivered(packet, now)
+    summary = probe.finalize(4.0)
+    # Crossings at 1.3 and 3.7 (skipped boundaries coalesce) + teardown.
+    assert summary["invariant_checkpoints"] == 3.0
+    events = [json.loads(line) for line in sink.lines]
+    for event in events:
+        check_telemetry_schema_version(event)
+    assert [e["event"] for e in events] == ["invariant"] * 3
+    assert events[-1]["final"] is True and events[-1]["ok"] is True
+
+
+def test_delivery_of_unknown_packet_fails():
+    probe, clock, stats, _ = _probe()
+    packet = make_data_packet("app", 1, 2, flow_id=1, seq=1)
+    stats.data_delivered(packet, 0.0)  # never originated
+    with pytest.raises(InvariantViolationError) as err:
+        probe.finalize(1.0)
+    assert [kind for _, kind, _ in err.value.violations] == ["delivery-of-unknown"]
+
+
+def test_double_retire_fails():
+    probe, clock, stats, _ = _probe()
+    stats.register_flow(1, 1, BROADCAST, mode="broadcast")
+    packet = make_data_packet("app", 1, BROADCAST, flow_id=1, seq=1)
+    stats.data_originated(packet, expected_receivers=1)
+    stats.packet_retired(1, packet.flow_key)
+    stats.packet_retired(1, packet.flow_key)
+    with pytest.raises(InvariantViolationError) as err:
+        probe.finalize(1.0)
+    assert "double-retire" in {kind for _, kind, _ in err.value.violations}
+
+
+def test_observational_mode_reports_without_raising():
+    probe, clock, stats, _ = _probe(raise_on_violation=False)
+    packet = make_data_packet("app", 1, 2, flow_id=1, seq=1)
+    stats.data_delivered(packet, 0.0)
+    summary = probe.finalize(1.0)
+    assert summary["invariant_violations"] == 1.0
+
+
+def test_deliberately_leaked_dedup_entry_is_caught():
+    """Satellite regression: retire a broadcast key, then deliver it again.
+
+    The second delivery lands after the collector released the key's dedup
+    state, so the collector counts it as *new* and silently re-creates the
+    entry -- the exact leak scope-TTL expiry produced in the event-burst
+    workload before per-packet liveness gating.  The probe must flag both
+    the mis-counted delivery and, at teardown, the re-created entry.
+    """
+    probe, clock, stats, sink = _probe()
+    stats.register_flow(1, 1, BROADCAST, mode="broadcast")
+    packet = make_data_packet("app", 1, BROADCAST, flow_id=1, seq=1)
+    stats.data_originated(packet, expected_receivers=3)
+    clock.now = 0.5
+    stats.data_delivered(packet, clock.now, receiver=2)
+    clock.now = 1.0
+    stats.packet_retired(1, packet.flow_key)  # linger expired: state released
+    clock.now = 1.5
+    # The leak: a receiver the workload should no longer be counting.
+    assert stats.data_delivered(packet, clock.now, receiver=3) is True
+    with pytest.raises(InvariantViolationError) as err:
+        probe.finalize(2.0)
+    kinds = [kind for _, kind, _ in err.value.violations]
+    assert kinds == ["delivery-after-retire", "dedup-leak"]
+    # Both violations also went out as telemetry before the raise.
+    violation_events = [
+        json.loads(line) for line in sink.lines if '"violation"' in line
+    ]
+    assert [e["kind"] for e in violation_events] == kinds

@@ -1,0 +1,158 @@
+"""Unit tests for the built-in probes, driven through a real EventTap."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.monitors import (
+    BufferSink,
+    LatencyDistributionMonitor,
+    TimeSeriesMonitor,
+    TransmissionHeatmapMonitor,
+    check_telemetry_schema_version,
+    telemetry_line,
+)
+from repro.sim.packet import BROADCAST, make_data_packet
+from repro.sim.statistics import StatsCollector
+from repro.sim.tap import EventTap
+
+
+class _Clock:
+    """Minimal Simulator stand-in: the tap only reads ``.now``."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def _tapped(*monitors):
+    """(clock, stats, sink) with ``monitors`` bound and tapped."""
+    clock = _Clock()
+    stats = StatsCollector()
+    sink = BufferSink()
+    for monitor in monitors:
+        monitor.bind(stats, sink)
+    stats.tap = EventTap(clock, monitors)
+    return clock, stats, sink
+
+
+def _parse(lines):
+    decoded = [json.loads(line) for line in lines]
+    for payload in decoded:
+        check_telemetry_schema_version(payload)
+    return decoded
+
+
+def test_telemetry_line_is_canonical_and_versioned():
+    line = telemetry_line("latency", 1.5, "latency-dist", samples=3)
+    assert line == '{"event":"latency","monitor":"latency-dist","samples":3,"t":1.5,"v":1}'
+    check_telemetry_schema_version(json.loads(line))
+
+
+def test_schema_check_rejects_unknown_and_incomplete():
+    with pytest.raises(ValueError, match="no telemetry schema version"):
+        check_telemetry_schema_version({"event": "x"})
+    with pytest.raises(ValueError, match="unknown telemetry schema version 99"):
+        check_telemetry_schema_version({"v": 99})
+    with pytest.raises(ValueError, match="non-integer"):
+        check_telemetry_schema_version({"v": True})
+    with pytest.raises(ValueError, match="missing envelope keys"):
+        check_telemetry_schema_version({"v": 1, "event": "x"})
+
+
+def test_latency_probe_streams_and_summarises():
+    probe = LatencyDistributionMonitor(emit_interval_s=1.0)
+    clock, stats, sink = _tapped(probe)
+    packet = make_data_packet("app", 1, 2, flow_id=1, seq=1, created_at=0.0)
+    for now in (0.2, 0.4, 1.2):
+        clock.now = now
+        fresh = packet if now == 0.2 else make_data_packet(
+            "app", 1, 2, flow_id=1, seq=int(now * 10), created_at=0.0
+        )
+        stats.data_delivered(fresh, now)
+    summary = probe.finalize(2.0)
+    assert summary["latency_samples"] == 3.0
+    assert summary["latency_p50_s"] >= 0.2
+    assert summary["latency_p99_s"] >= summary["latency_p50_s"]
+    events = _parse(sink.lines)
+    # One lazy mid-run emission (crossing t=1.0) plus the final snapshot.
+    assert [e["event"] for e in events] == ["latency", "latency"]
+    assert events[-1]["final"] is True
+
+
+def test_latency_probe_ignores_duplicate_deliveries():
+    probe = LatencyDistributionMonitor(emit_interval_s=0.0)
+    clock, stats, _ = _tapped(probe)
+    stats.register_flow(1, 1, BROADCAST, mode="broadcast")
+    packet = make_data_packet("app", 1, BROADCAST, flow_id=1, seq=1)
+    stats.data_originated(packet, expected_receivers=2)
+    clock.now = 0.5
+    stats.data_delivered(packet, 0.5, receiver=2)
+    stats.data_delivered(packet, 0.5, receiver=2)  # dedup-suppressed duplicate
+    assert probe.sketch.count == 1
+
+
+def test_timeseries_probe_buckets_and_pdr():
+    probe = TimeSeriesMonitor(bucket_s=1.0)
+    clock, stats, sink = _tapped(probe)
+    packet = make_data_packet("app", 1, 2, flow_id=1, seq=1)
+    stats.data_originated(packet)
+    clock.now = 0.4
+    stats.data_delivered(packet, 0.4)
+    clock.now = 0.9
+    stats.collision(3)
+    # Crossing into bucket 2 flushes bucket 0; bucket 1 stays empty and is
+    # skipped entirely.
+    clock.now = 2.5
+    stats.ttl_drop()
+    summary = probe.finalize(3.0)
+    events = _parse(sink.lines)
+    buckets = [e for e in events if e["event"] == "bucket"]
+    assert [b["bucket"] for b in buckets] == [0, 2]
+    assert buckets[0]["originated"] == 1
+    assert buckets[0]["delivered"] == 1
+    assert buckets[0]["collisions"] == 3
+    assert buckets[0]["pdr"] == 1.0
+    assert buckets[1]["dropped"] == 1
+    assert summary["timeseries_buckets"] == 2.0
+    assert summary["timeseries_peak_collisions"] == 3.0
+
+
+def test_heatmap_probe_grids_by_sender_position():
+    probe = TransmissionHeatmapMonitor(cell_size_m=100.0)
+    clock, _, sink = _tapped(probe)
+    tap = EventTap(clock, [probe])
+    packet = make_data_packet("app", 1, 2, flow_id=1, seq=1)
+    tap.transmission(packet, 1, Vec2(10.0, 10.0))
+    tap.transmission(packet, 1, Vec2(90.0, 10.0))  # same 100 m cell
+    tap.transmission(packet, 2, Vec2(250.0, -20.0))
+    summary = probe.finalize(1.0)
+    assert summary == {
+        "heatmap_active_cells": 2.0,
+        "heatmap_total_tx": 3.0,
+        "heatmap_peak_cell_tx": 2.0,
+    }
+    (event,) = _parse(sink.lines)
+    assert event["cells"] == [[0, 0, 2], [2, -1, 1]]
+
+
+def test_probes_validate_constructor_parameters():
+    with pytest.raises(ValueError, match="bucket_s"):
+        TimeSeriesMonitor(bucket_s=0.0)
+    with pytest.raises(ValueError, match="cell_size_m"):
+        TransmissionHeatmapMonitor(cell_size_m=-1.0)
+
+
+def test_untapped_collector_pays_only_the_none_check():
+    # The seam's zero-cost contract: a collector without a tap runs every
+    # counter method without touching monitor machinery.
+    stats = StatsCollector()
+    assert stats.tap is None
+    packet = make_data_packet("app", 1, 2, flow_id=1, seq=1)
+    stats.data_originated(packet)
+    stats.data_delivered(packet, 0.1)
+    stats.collision()
+    stats.ttl_drop()
+    assert stats.total_delivered == 1

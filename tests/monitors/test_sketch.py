@@ -1,0 +1,79 @@
+"""QuantileSketch: the documented error bound, property-tested vs numpy.
+
+The sketch promises nearest-rank semantics within a relative error of
+``bin_ratio - 1`` for samples inside ``(lower, upper]``.  Hypothesis
+drives arbitrary sample sets through the sketch and compares every
+estimate against ``numpy.percentile(..., method="inverted_cdf")`` -- the
+exact nearest-rank reference the sketch's docstring names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitors.sketch import QuantileSketch
+
+#: In-range samples for the guaranteed-bound property (the bound only
+#: holds inside (lower, upper]).
+in_range_samples = st.lists(
+    st.floats(min_value=1.5e-4, max_value=9e3, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples=in_range_samples, q=st.floats(min_value=0.01, max_value=1.0))
+def test_sketch_within_documented_bound_vs_numpy(samples, q):
+    sketch = QuantileSketch(lower=1e-4, upper=1e4, bin_ratio=1.05)
+    for value in samples:
+        sketch.add(value)
+    exact = float(np.percentile(samples, q * 100, method="inverted_cdf"))
+    estimate = sketch.quantile(q)
+    # Upper-edge estimates never undershoot and overshoot by < bin_ratio-1.
+    assert exact <= estimate <= exact * (1.0 + sketch.relative_error_bound) + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(samples=in_range_samples)
+def test_sketch_headline_quantiles_all_within_bound(samples):
+    sketch = QuantileSketch()
+    for value in samples:
+        sketch.add(value)
+    for q in (0.5, 0.95, 0.99):
+        exact = float(np.percentile(samples, q * 100, method="inverted_cdf"))
+        estimate = sketch.quantile(q)
+        assert abs(estimate - exact) <= exact * sketch.relative_error_bound + 1e-12
+
+
+def test_underflow_and_overflow_bins():
+    sketch = QuantileSketch(lower=1e-3, upper=1.0, bin_ratio=1.1)
+    sketch.add(1e-6)  # underflow: estimated at lower
+    assert sketch.quantile(1.0) == pytest.approx(1e-3)
+    sketch.add(50.0)  # overflow: estimated at upper
+    assert sketch.quantile(1.0) == pytest.approx(1.0)
+    assert sketch.count == 2
+
+
+def test_empty_sketch_returns_zero():
+    assert QuantileSketch().quantile(0.5) == 0.0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="0 < lower < upper"):
+        QuantileSketch(lower=1.0, upper=0.5)
+    with pytest.raises(ValueError, match="bin_ratio"):
+        QuantileSketch(bin_ratio=1.0)
+    with pytest.raises(ValueError, match="quantile"):
+        QuantileSketch().quantile(0.0)
+
+
+def test_quantiles_batch_matches_scalar():
+    sketch = QuantileSketch()
+    for value in (0.01, 0.02, 0.04, 0.08, 0.16):
+        sketch.add(value)
+    qs = [0.5, 0.95, 0.99]
+    assert sketch.quantiles(qs) == [sketch.quantile(q) for q in qs]
